@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench figures figures-quick fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper at full fidelity (plus CSVs).
+figures:
+	$(GO) run ./cmd/figures -csv results -extended
+
+# A quick low-fidelity pass over all figures (~seconds).
+figures-quick:
+	$(GO) run ./cmd/figures -scale 0.05 -seeds 1 -quiet
+
+fuzz:
+	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario
+	$(GO) test -fuzz=FuzzRankUnrank -fuzztime=30s ./internal/perm
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -rf results

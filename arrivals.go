@@ -1,0 +1,82 @@
+package rtmac
+
+import (
+	"fmt"
+
+	"rtmac/internal/arrival"
+)
+
+// Arrivals wraps a per-interval packet arrival process for one link.
+type Arrivals struct {
+	proc arrival.Process
+}
+
+// Mean returns λ, the expected packets per interval.
+func (a Arrivals) Mean() float64 { return a.proc.Mean() }
+
+// Max returns the finite bound A_max on any one interval's arrivals.
+func (a Arrivals) Max() int { return a.proc.Max() }
+
+// BernoulliArrivals yields one packet per interval with probability p — the
+// paper's control-traffic model (§VI-B).
+func BernoulliArrivals(p float64) (Arrivals, error) {
+	proc, err := arrival.NewBernoulli(p)
+	if err != nil {
+		return Arrivals{}, fmt.Errorf("rtmac: %w", err)
+	}
+	return Arrivals{proc: proc}, nil
+}
+
+// MustBernoulliArrivals is BernoulliArrivals panicking on invalid p, for
+// literals in examples and tests.
+func MustBernoulliArrivals(p float64) Arrivals {
+	a, err := BernoulliArrivals(p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// VideoArrivals yields a uniform burst of 1–6 packets with probability
+// alpha, zero otherwise (λ = 3.5·alpha) — the paper's bursty video model
+// (§VI-A).
+func VideoArrivals(alpha float64) (Arrivals, error) {
+	proc, err := arrival.PaperVideo(alpha)
+	if err != nil {
+		return Arrivals{}, fmt.Errorf("rtmac: %w", err)
+	}
+	return Arrivals{proc: proc}, nil
+}
+
+// MustVideoArrivals is VideoArrivals panicking on invalid alpha.
+func MustVideoArrivals(alpha float64) Arrivals {
+	a, err := VideoArrivals(alpha)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// BurstyArrivals yields a uniform draw from {lo..hi} with probability alpha
+// and zero otherwise.
+func BurstyArrivals(alpha float64, lo, hi int) (Arrivals, error) {
+	proc, err := arrival.NewBurstyUniform(alpha, lo, hi)
+	if err != nil {
+		return Arrivals{}, fmt.Errorf("rtmac: %w", err)
+	}
+	return Arrivals{proc: proc}, nil
+}
+
+// FixedArrivals yields exactly n packets every interval.
+func FixedArrivals(n int) Arrivals {
+	return Arrivals{proc: arrival.Deterministic{N: n}}
+}
+
+// BinomialArrivals yields Binomial(n, p) packets per interval.
+func BinomialArrivals(n int, p float64) (Arrivals, error) {
+	proc, err := arrival.NewBinomial(n, p)
+	if err != nil {
+		return Arrivals{}, fmt.Errorf("rtmac: %w", err)
+	}
+	return Arrivals{proc: proc}, nil
+}

@@ -1,0 +1,165 @@
+// Command feascheck probes whether a timely-throughput requirement vector is
+// feasible on a fully-interfering network: it evaluates the analytic
+// necessary bounds, runs the feasibility-optimal LDF policy as an empirical
+// probe, and optionally binary-searches the capacity frontier.
+//
+// Example — where does the paper's symmetric video scenario saturate?
+//
+//	feascheck -profile video -links 20 -p 0.7 -arrivals video -rate 0.55 \
+//	          -ratio 0.9 -frontier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtmac"
+	"rtmac/internal/arrival"
+	"rtmac/internal/feasibility"
+	"rtmac/internal/phy"
+	"rtmac/scenario"
+)
+
+func main() {
+	var (
+		configPath  = flag.String("config", "", "JSON scenario file (overrides the uniform-network flags)")
+		profileName = flag.String("profile", "control", "video | control")
+		links       = flag.Int("links", 10, "number of links")
+		p           = flag.Float64("p", 0.7, "per-link delivery probability")
+		arrName     = flag.String("arrivals", "bernoulli", "bernoulli | video | fixed")
+		rate        = flag.Float64("rate", 0.78, "arrival parameter")
+		ratio       = flag.Float64("ratio", 0.99, "required delivery ratio")
+		intervals   = flag.Int("intervals", 3000, "probe length in intervals")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		frontier    = flag.Bool("frontier", false, "binary-search the feasible scale of the requirement vector")
+		subsets     = flag.Bool("subsets", false, "scan subset-level necessary bounds (links ≤ 14)")
+	)
+	flag.Parse()
+
+	if *configPath != "" {
+		checkConfig(*configPath, *intervals, *frontier)
+		return
+	}
+
+	var profile phy.Profile
+	switch *profileName {
+	case "video":
+		profile = phy.Video()
+	case "control":
+		profile = phy.Control()
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profileName))
+	}
+	var proc arrival.Process
+	var err error
+	switch *arrName {
+	case "bernoulli":
+		proc, err = arrival.NewBernoulli(*rate)
+	case "video":
+		proc, err = arrival.PaperVideo(*rate)
+	case "fixed":
+		proc = arrival.Deterministic{N: int(*rate)}
+	default:
+		err = fmt.Errorf("unknown arrival process %q", *arrName)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	av, err := arrival.Uniform(*links, proc)
+	if err != nil {
+		fatal(err)
+	}
+	probs := make([]float64, *links)
+	req := make([]float64, *links)
+	for i := range probs {
+		probs[i] = *p
+		req[i] = *ratio * proc.Mean()
+	}
+	problem := feasibility.Problem{
+		Profile:     profile,
+		SuccessProb: probs,
+		Arrivals:    av,
+		Required:    req,
+	}
+
+	fmt.Printf("profile %s: %d transmission slots per %v interval\n",
+		profile.Name, profile.SlotsPerInterval(), profile.Interval)
+	fmt.Printf("requirement: q = %.4f packets/interval per link, workload %.2f slots/interval\n",
+		req[0], feasibility.TotalWorkload(problem))
+
+	if err := feasibility.NecessaryBounds(problem); err != nil {
+		fmt.Printf("necessary bounds: VIOLATED — %v\n", err)
+	} else {
+		fmt.Println("necessary bounds: satisfied")
+	}
+
+	if *subsets {
+		msg, err := feasibility.SubsetBoundViolation(problem, *seed, 4000)
+		if err != nil {
+			fatal(err)
+		}
+		if msg == "" {
+			fmt.Println("subset bounds: satisfied")
+		} else {
+			fmt.Printf("subset bounds: VIOLATED — %s\n", msg)
+		}
+	}
+
+	res, err := feasibility.Probe(problem, feasibility.ProbeConfig{Seed: *seed, Intervals: *intervals})
+	if err != nil {
+		fatal(err)
+	}
+	verdict := "FEASIBLE"
+	if !res.Feasible {
+		verdict = "INFEASIBLE"
+	}
+	fmt.Printf("LDF probe (%d intervals): deficiency %.4f — empirically %s\n",
+		res.Intervals, res.Deficiency, verdict)
+
+	if *frontier {
+		gamma, err := feasibility.Frontier(problem,
+			feasibility.ProbeConfig{Seed: *seed, Intervals: *intervals}, 0.05, 2.0, 12)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("capacity frontier: γ ≈ %.3f (q scaled by γ is the empirical feasibility boundary)\n", gamma)
+	}
+}
+
+// checkConfig assesses a JSON scenario through the public API, which
+// supports heterogeneous links.
+func checkConfig(path string, intervals int, frontier bool) {
+	cfg, _, err := scenario.LoadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := rtmac.CheckFeasibility(cfg, intervals)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenario %s: workload %.2f of %d slots/interval\n",
+		path, res.WorkloadSlots, res.CapacitySlots)
+	if res.NecessaryBoundsOK {
+		fmt.Println("necessary bounds: satisfied")
+	} else {
+		fmt.Printf("necessary bounds: VIOLATED — %s\n", res.NecessaryBoundsReason)
+	}
+	verdict := "FEASIBLE"
+	if !res.Feasible {
+		verdict = "INFEASIBLE"
+	}
+	fmt.Printf("LDF probe: deficiency %.4f — empirically %s\n", res.ProbeDeficiency, verdict)
+	if frontier {
+		gamma, err := rtmac.CapacityFrontier(cfg, intervals)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("capacity frontier: γ ≈ %.3f\n", gamma)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "feascheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command figures regenerates the paper's evaluation figures (Figs. 3–10).
+//
+// Usage:
+//
+//	figures                      # every figure at full fidelity
+//	figures -fig fig3            # one figure
+//	figures -scale 0.1 -seeds 1  # quick low-fidelity pass
+//	figures -csv results         # also write results/<fig>.csv
+//
+// Each figure prints an aligned table and an ASCII chart; -csv writes the
+// raw points for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rtmac/internal/experiment"
+)
+
+func main() {
+	var (
+		figID    = flag.String("fig", "", "figure to regenerate (see -list); default: the paper's fig3..fig10")
+		scale    = flag.Float64("scale", 1.0, "interval-count scale factor (1 = paper fidelity)")
+		seeds    = flag.Int("seeds", 3, "independent replications per point")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
+		quiet    = flag.Bool("quiet", false, "suppress per-point progress output")
+		list     = flag.Bool("list", false, "list available figure IDs and exit")
+		extended = flag.Bool("extended", false, "run the beyond-paper figures too")
+		htmlPath = flag.String("html", "", "write all regenerated figures into one self-contained HTML report")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range experiment.Extended() {
+			fmt.Printf("%-16s %s\n", f.ID(), f.Title())
+		}
+		return
+	}
+
+	figures := experiment.All()
+	if *extended {
+		figures = experiment.Extended()
+	}
+	if *figID != "" {
+		fig, err := experiment.ByID(*figID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		figures = []experiment.Figure{fig}
+	}
+	opts := experiment.RunOptions{
+		Seeds:         *seeds,
+		IntervalScale: *scale,
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	var htmlResults []*experiment.Result
+	for _, fig := range figures {
+		start := time.Now()
+		res, err := fig.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", fig.ID(), err)
+			os.Exit(1)
+		}
+		if *htmlPath != "" {
+			htmlResults = append(htmlResults, res)
+		}
+		if err := experiment.WriteTable(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := experiment.WriteASCIIChart(os.Stdout, res, 72, 18); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", fig.ID(), time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, res.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := experiment.WriteCSV(f, res); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := experiment.WriteHTMLReport(f, htmlResults); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlPath)
+	}
+}

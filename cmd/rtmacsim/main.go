@@ -1,0 +1,202 @@
+// Command rtmacsim runs one real-time MAC simulation from command-line
+// flags and prints the per-link report.
+//
+// Examples:
+//
+//	# The paper's control scenario under DB-DP:
+//	rtmacsim -protocol dbdp -profile control -links 10 -p 0.7 \
+//	         -arrivals bernoulli -rate 0.78 -ratio 0.99 -intervals 20000
+//
+//	# The video scenario under FCSMA:
+//	rtmacsim -protocol fcsma -profile video -links 20 -p 0.7 \
+//	         -arrivals video -rate 0.55 -ratio 0.9 -intervals 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtmac"
+	"rtmac/scenario"
+	"rtmac/topology"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "JSON scenario file (overrides the other flags; see package rtmac/scenario)")
+		protoName  = flag.String("protocol", "dbdp", "dbdp | ldf | eldf | fcsma | framecsma | dcf")
+		profile    = flag.String("profile", "control", "video | control")
+		links      = flag.Int("links", 10, "number of links")
+		p          = flag.Float64("p", 0.7, "per-link delivery probability")
+		arrivals   = flag.String("arrivals", "bernoulli", "bernoulli | video | fixed")
+		rate       = flag.Float64("rate", 0.78, "arrival parameter: Bernoulli p, video alpha, or fixed count")
+		ratio      = flag.Float64("ratio", 0.99, "required delivery ratio")
+		intervals  = flag.Int("intervals", 20000, "simulated intervals")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		pairs      = flag.Int("pairs", 1, "DB-DP swap pairs per interval (Remark 6 extension)")
+		timeline   = flag.Bool("timeline", false, "render the final interval as an ASCII packet timeline")
+		delay      = flag.Bool("delay", false, "report delivery-delay statistics (mean, p50/p95/p99, max)")
+	)
+	flag.Parse()
+	showTimeline = *timeline
+	showDelay = *delay
+
+	if *configPath != "" {
+		cfg, net, configIntervals, err := scenario.LoadAnyFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		topo = net
+		runAndReport(cfg, configIntervals)
+		return
+	}
+
+	prof, err := profileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	arr, err := arrivalsByName(*arrivals, *rate)
+	if err != nil {
+		fatal(err)
+	}
+	prot, err := protocolByName(*protoName, *pairs)
+	if err != nil {
+		fatal(err)
+	}
+	linkCfgs := make([]rtmac.Link, *links)
+	for i := range linkCfgs {
+		linkCfgs[i] = rtmac.Link{SuccessProb: *p, Arrivals: arr, DeliveryRatio: *ratio}
+	}
+	runAndReport(rtmac.Config{
+		Seed:     *seed,
+		Profile:  prof,
+		Links:    linkCfgs,
+		Protocol: prot,
+	}, *intervals)
+}
+
+// showTimeline and showDelay are set from flags before runAndReport runs;
+// topo carries the named topology when -config pointed at one.
+var (
+	showTimeline bool
+	showDelay    bool
+	topo         *topology.Network
+)
+
+func runAndReport(cfg rtmac.Config, intervals int) {
+	sim, err := rtmac.NewSimulation(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var tr *rtmac.Trace
+	if showTimeline {
+		if tr, err = sim.EnableTrace(4096); err != nil {
+			fatal(err)
+		}
+	}
+	var dl *rtmac.Delay
+	if showDelay {
+		if dl, err = sim.EnableDelayStats(200); err != nil {
+			fatal(err)
+		}
+	}
+	start := time.Now()
+	if err := sim.Run(intervals); err != nil {
+		fatal(err)
+	}
+	rep := sim.Report()
+	fmt.Print(rep)
+	if topo != nil {
+		fmt.Println("link names:")
+		for i := range rep.Links {
+			name, err := topo.LinkName(i)
+			if err != nil {
+				fatal(err)
+			}
+			kind, err := topo.KindOf(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %4d = %s (%s)\n", i, name, kind)
+		}
+	}
+	fmt.Printf("simulated %d intervals (%v of channel time) in %v\n",
+		intervals, sim.Now().Std(), time.Since(start).Round(time.Millisecond))
+	if dl != nil && dl.Count() > 0 {
+		p50, err := dl.Quantile(0.5)
+		if err != nil {
+			fatal(err)
+		}
+		p95, err := dl.Quantile(0.95)
+		if err != nil {
+			fatal(err)
+		}
+		p99, err := dl.Quantile(0.99)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("delivery delay over %d packets: mean %v, p50 %v, p95 %v, p99 %v, max %v\n",
+			dl.Count(), dl.Mean(), p50, p95, p99, dl.Max())
+	}
+	if tr != nil && intervals > 0 {
+		fmt.Println()
+		if err := tr.RenderInterval(os.Stdout, int64(intervals-1), 100); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func profileByName(name string) (rtmac.Profile, error) {
+	switch name {
+	case "video":
+		return rtmac.VideoProfile(), nil
+	case "control":
+		return rtmac.ControlProfile(), nil
+	default:
+		return rtmac.Profile{}, fmt.Errorf("unknown profile %q (want video or control)", name)
+	}
+}
+
+func arrivalsByName(name string, rate float64) (rtmac.Arrivals, error) {
+	switch name {
+	case "bernoulli":
+		return rtmac.BernoulliArrivals(rate)
+	case "video":
+		return rtmac.VideoArrivals(rate)
+	case "fixed":
+		return rtmac.FixedArrivals(int(rate)), nil
+	default:
+		return rtmac.Arrivals{}, fmt.Errorf("unknown arrival process %q", name)
+	}
+}
+
+func protocolByName(name string, pairs int) (rtmac.Protocol, error) {
+	switch name {
+	case "dbdp":
+		if pairs != 1 {
+			return rtmac.DBDP(rtmac.WithSwapPairs(pairs)), nil
+		}
+		return rtmac.DBDP(), nil
+	case "ldf":
+		return rtmac.LDF(), nil
+	case "eldf":
+		return rtmac.ELDF(rtmac.PaperInfluence()), nil
+	case "fcsma":
+		return rtmac.FCSMA(), nil
+	case "framecsma":
+		return rtmac.FrameCSMA(), nil
+	case "tdma":
+		return rtmac.TDMA(), nil
+	case "dcf":
+		return rtmac.DCF(), nil
+	default:
+		return rtmac.Protocol{}, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmacsim:", err)
+	os.Exit(1)
+}

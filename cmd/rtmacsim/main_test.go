@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"video", "control"} {
+		if _, err := profileByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := profileByName("lte"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestArrivalsByName(t *testing.T) {
+	cases := []struct {
+		name string
+		rate float64
+	}{
+		{"bernoulli", 0.5},
+		{"video", 0.4},
+		{"fixed", 2},
+	}
+	for _, tc := range cases {
+		if _, err := arrivalsByName(tc.name, tc.rate); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	if _, err := arrivalsByName("poisson", 1); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+	if _, err := arrivalsByName("bernoulli", 2); err == nil {
+		t.Error("invalid rate accepted")
+	}
+}
+
+func TestProtocolByName(t *testing.T) {
+	for _, name := range []string{"dbdp", "ldf", "eldf", "fcsma", "framecsma", "tdma", "dcf"} {
+		p, err := protocolByName(name, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Label() == "" {
+			t.Errorf("%s: empty label", name)
+		}
+	}
+	if _, err := protocolByName("aloha", 1); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := protocolByName("dbdp", 3); err != nil {
+		t.Error("multi-pair dbdp rejected")
+	}
+}

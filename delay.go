@@ -1,0 +1,53 @@
+package rtmac
+
+import (
+	"fmt"
+
+	"rtmac/internal/metrics"
+)
+
+// Delay exposes per-packet delivery-delay statistics for a simulation: how
+// early within the deadline successful deliveries land. Only delivered data
+// packets are counted.
+type Delay struct {
+	d *metrics.DelayStats
+}
+
+// EnableDelayStats starts collecting delivery-delay statistics with the
+// given histogram resolution (buckets per deadline; 100 is a fine default).
+// Call before Run. It can coexist with EnableTrace.
+func (s *Simulation) EnableDelayStats(resolution int) (*Delay, error) {
+	d, err := metrics.NewDelayStats(s.profileInterval, resolution)
+	if err != nil {
+		return nil, fmt.Errorf("rtmac: %w", err)
+	}
+	d.Attach(s.nw.Medium())
+	return &Delay{d: d}, nil
+}
+
+// Count returns how many deliveries were observed.
+func (d *Delay) Count() int64 { return d.d.Count() }
+
+// Mean returns the average delivery delay.
+func (d *Delay) Mean() Time { return d.d.Mean() }
+
+// Max returns the largest observed delay (bounded by the deadline).
+func (d *Delay) Max() Time { return d.d.Max() }
+
+// Quantile returns the q-quantile of the delay distribution, at histogram
+// resolution.
+func (d *Delay) Quantile(q float64) (Time, error) {
+	v, err := d.d.Quantile(q)
+	if err != nil {
+		return 0, fmt.Errorf("rtmac: %w", err)
+	}
+	return v, nil
+}
+
+// DeadlineShare returns the fraction of deliveries completed within
+// frac·deadline of their arrival.
+func (d *Delay) DeadlineShare(frac float64) float64 { return d.d.DeadlineShare(frac) }
+
+// Histogram returns the raw bucket counts; bucket i covers delays within
+// (i, i+1]·deadline/resolution.
+func (d *Delay) Histogram() []int64 { return d.d.Histogram() }

@@ -1,0 +1,80 @@
+// Convergence: reproduce the spirit of the paper's Figure 5 — how quickly
+// the link starting at the LOWEST priority climbs to its required
+// timely-throughput under the decentralized DB-DP protocol, compared with
+// the centralized LDF policy. DB-DP moves priorities one adjacent swap per
+// interval, yet the watched link's throughput reaches its target without the
+// starvation lock-in of conventional CSMA.
+//
+//	go run ./examples/convergence
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rtmac"
+)
+
+const (
+	numLinks  = 20
+	alpha     = 0.55
+	ratio     = 0.93
+	intervals = 3000
+	window    = 150
+)
+
+func run(protocol rtmac.Protocol) []rtmac.Snapshot {
+	links := make([]rtmac.Link, numLinks)
+	for i := range links {
+		links[i] = rtmac.Link{
+			SuccessProb:   0.7,
+			Arrivals:      rtmac.MustVideoArrivals(alpha),
+			DeliveryRatio: ratio,
+		}
+	}
+	sim, err := rtmac.NewSimulation(rtmac.Config{
+		Seed:          5,
+		Profile:       rtmac.VideoProfile(),
+		Links:         links,
+		Protocol:      protocol,
+		SnapshotEvery: window,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Run(intervals); err != nil {
+		log.Fatal(err)
+	}
+	return sim.Snapshots()
+}
+
+func main() {
+	target := ratio * 3.5 * alpha
+	watched := numLinks - 1 // lowest priority at time zero in both policies
+
+	dbdp := run(rtmac.DBDP())
+	ldf := run(rtmac.LDF())
+
+	fmt.Printf("Timely-throughput of link %d (initial priority %d, target %.3f),\n",
+		watched, numLinks, target)
+	fmt.Printf("averaged over %d-interval windows:\n\n", window)
+	fmt.Printf("%9s  %7s  %7s   (bar: DB-DP as %% of target)\n", "interval", "DB-DP", "LDF")
+	for i := range dbdp {
+		d := dbdp[i].Windowed[watched]
+		l := ldf[i].Windowed[watched]
+		frac := d / target
+		if frac > 1 {
+			frac = 1
+		}
+		bar := strings.Repeat("#", int(frac*30))
+		fmt.Printf("%9d  %7.3f  %7.3f   |%-30s|\n", dbdp[i].Intervals, d, l, bar)
+	}
+	fmt.Println()
+	fmt.Println("LDF serves the highest-debt link first from interval one, so its")
+	fmt.Println("curve starts at the target. DB-DP must walk the link up the")
+	fmt.Println("priority ladder by randomized adjacent swaps, yet it reaches the")
+	fmt.Println("same level within a few hundred intervals — and even while at the")
+	fmt.Println("bottom, the link was never completely starved (the priority")
+	fmt.Println("structure guarantees leftover airtime reaches low priorities).")
+}

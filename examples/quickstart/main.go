@@ -1,0 +1,47 @@
+// Quickstart: simulate the paper's ultra-low-latency control scenario under
+// the decentralized DB-DP protocol and print the resulting report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtmac"
+)
+
+func main() {
+	// Ten sensor/actuator links share one channel. Each has a 70 % per-
+	// transmission delivery probability, a fresh control packet with
+	// probability 0.78 at the start of every 2 ms interval, and must get
+	// 99 % of its packets through before their deadlines.
+	links := make([]rtmac.Link, 10)
+	for i := range links {
+		links[i] = rtmac.Link{
+			SuccessProb:   0.7,
+			Arrivals:      rtmac.MustBernoulliArrivals(0.78),
+			DeliveryRatio: 0.99,
+		}
+	}
+
+	sim, err := rtmac.NewSimulation(rtmac.Config{
+		Seed:     42,
+		Profile:  rtmac.ControlProfile(), // 2 ms deadline, 120 µs exchanges
+		Links:    links,
+		Protocol: rtmac.DBDP(), // the paper's decentralized protocol
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 20000 intervals = 40 seconds of channel time, the paper's horizon.
+	if err := sim.Run(20000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(sim.Report())
+	fmt.Println("\nNote the zero collision count: DB-DP's backoff design is")
+	fmt.Println("collision-free, so all channel losses come from the unreliable")
+	fmt.Println("channel itself (p = 0.7), never from contention.")
+}

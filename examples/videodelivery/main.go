@@ -1,0 +1,62 @@
+// Video delivery: the paper's Section VI-A scenario — 20 links carrying
+// bursty real-time video (1500 B packets, 20 ms deadline) — compared across
+// the decentralized DB-DP protocol, the centralized LDF policy, and the
+// FCSMA random-access baseline, at increasing load.
+//
+//	go run ./examples/videodelivery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtmac"
+)
+
+const (
+	numLinks  = 20
+	intervals = 2000 // 40 s of channel time per cell; raise for smoother numbers
+)
+
+func deficiency(alpha float64, protocol rtmac.Protocol) float64 {
+	links := make([]rtmac.Link, numLinks)
+	for i := range links {
+		links[i] = rtmac.Link{
+			SuccessProb:   0.7,
+			Arrivals:      rtmac.MustVideoArrivals(alpha), // 1-6 packet bursts w.p. alpha
+			DeliveryRatio: 0.9,
+		}
+	}
+	sim, err := rtmac.NewSimulation(rtmac.Config{
+		Seed:     7,
+		Profile:  rtmac.VideoProfile(),
+		Links:    links,
+		Protocol: protocol,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Run(intervals); err != nil {
+		log.Fatal(err)
+	}
+	return sim.TotalDeficiency()
+}
+
+func main() {
+	fmt.Println("Symmetric video network: total timely-throughput deficiency")
+	fmt.Println("(20 links, p = 0.7, 90% delivery ratio, lambda = 3.5*alpha)")
+	fmt.Println()
+	fmt.Printf("%7s  %8s  %8s  %8s\n", "alpha*", "DB-DP", "LDF", "FCSMA")
+	for _, alpha := range []float64{0.40, 0.50, 0.55, 0.60, 0.65} {
+		fmt.Printf("%7.2f  %8.4f  %8.4f  %8.4f\n",
+			alpha,
+			deficiency(alpha, rtmac.DBDP()),
+			deficiency(alpha, rtmac.LDF()),
+			deficiency(alpha, rtmac.FCSMA()),
+		)
+	}
+	fmt.Println()
+	fmt.Println("DB-DP tracks the centralized LDF policy closely, while FCSMA's")
+	fmt.Println("contention overhead and collisions cost it roughly 30% of the")
+	fmt.Println("admissible load — the shape of the paper's Figure 3.")
+}

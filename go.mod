@@ -1,0 +1,3 @@
+module rtmac
+
+go 1.22

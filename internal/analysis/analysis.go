@@ -1,0 +1,223 @@
+// Package analysis provides slot-level reference models of priority-based
+// scheduling on a fully-interfering deadline network. These models abstract
+// away the µs-level contention mechanics (backoff slots, empty frames) and
+// work directly in units of transmission slots, which makes them fast and
+// lets the test suite cross-validate the event-driven simulator against an
+// independent implementation of the same semantics:
+//
+//	event-driven DP with frozen priorities  ≈  slot model − contention overhead.
+//
+// The models also expose the theory quantities behind the paper's figures:
+// per-priority expected timely-throughput (Fig. 6) and its average under a
+// priority distribution such as the Prop. 2/3 stationary law.
+package analysis
+
+import (
+	"fmt"
+
+	"rtmac/internal/arrival"
+	"rtmac/internal/perm"
+	"rtmac/internal/sim"
+)
+
+// SlotModel describes one network in slot units.
+type SlotModel struct {
+	// SlotsPerInterval is how many packet transmissions fit in one interval.
+	SlotsPerInterval int
+	// SuccessProb is the per-link delivery probability vector.
+	SuccessProb []float64
+	// Arrivals generates the joint per-interval arrival vector.
+	Arrivals arrival.VectorProcess
+}
+
+// Validate reports configuration errors.
+func (m SlotModel) Validate() error {
+	if m.SlotsPerInterval <= 0 {
+		return fmt.Errorf("analysis: non-positive slots per interval %d", m.SlotsPerInterval)
+	}
+	n := len(m.SuccessProb)
+	if n == 0 {
+		return fmt.Errorf("analysis: no links")
+	}
+	for i, p := range m.SuccessProb {
+		if p <= 0 || p > 1 {
+			return fmt.Errorf("analysis: p_%d = %v outside (0, 1]", i, p)
+		}
+	}
+	if m.Arrivals == nil || m.Arrivals.Links() != n {
+		return fmt.Errorf("analysis: arrival process missing or covers wrong link count")
+	}
+	return nil
+}
+
+// PriorityThroughput estimates, by Monte Carlo over arrival and channel
+// randomness, the expected per-link timely-throughput when links are served
+// in a FIXED priority order: each interval, the highest-priority backlogged
+// link transmits (retrying losses) until its buffer drains, then the next,
+// until the interval's transmission slots run out. This is exactly the
+// within-interval service discipline of both ELDF (for its per-interval
+// ordering) and the DP protocol (for its backoff ordering), so it predicts
+// the paper's Figure 6 up to contention overhead.
+//
+// The returned slice is indexed by link.
+func PriorityThroughput(m SlotModel, priorities perm.Permutation, seed uint64, intervals int) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(m.SuccessProb)
+	if priorities.Len() != n {
+		return nil, fmt.Errorf("analysis: priorities cover %d links, want %d", priorities.Len(), n)
+	}
+	if !priorities.Valid() {
+		return nil, fmt.Errorf("analysis: invalid priority vector %v", priorities)
+	}
+	if intervals <= 0 {
+		intervals = 10000
+	}
+	rng := sim.NewRNG(seed)
+	order := priorities.Inverse() // order[0] = link with priority 1
+	arrivals := make([]int, n)
+	delivered := make([]int64, n)
+	for k := 0; k < intervals; k++ {
+		m.Arrivals.Sample(rng, arrivals)
+		slots := m.SlotsPerInterval
+		for _, link := range order {
+			for pkt := 0; pkt < arrivals[link] && slots > 0; pkt++ {
+				// Attempt until delivered or the interval's slots run out.
+				for slots > 0 {
+					slots--
+					if rng.Bernoulli(m.SuccessProb[link]) {
+						delivered[link]++
+						break
+					}
+				}
+			}
+			if slots == 0 {
+				break
+			}
+		}
+	}
+	out := make([]float64, n)
+	for link := range out {
+		out[link] = float64(delivered[link]) / float64(intervals)
+	}
+	return out, nil
+}
+
+// StationaryThroughput estimates the expected per-link timely-throughput
+// when the priority ordering is redrawn each interval from the given
+// distribution over permutation ranks (e.g. the Prop. 2/3 stationary law
+// from perm.StationaryFromMu). It models the quasi-stationary behaviour of
+// the DP protocol with constant swap biases.
+func StationaryThroughput(m SlotModel, pi []float64, seed uint64, intervals int) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(m.SuccessProb)
+	states, err := perm.Enumerate(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(pi) != len(states) {
+		return nil, fmt.Errorf("analysis: distribution over %d states, want %d", len(pi), len(states))
+	}
+	if intervals <= 0 {
+		intervals = 10000
+	}
+	rng := sim.NewRNG(seed)
+	arrivals := make([]int, n)
+	delivered := make([]int64, n)
+	for k := 0; k < intervals; k++ {
+		order := states[sampleIndex(rng, pi)].Inverse()
+		m.Arrivals.Sample(rng, arrivals)
+		slots := m.SlotsPerInterval
+		for _, link := range order {
+			for pkt := 0; pkt < arrivals[link] && slots > 0; pkt++ {
+				for slots > 0 {
+					slots--
+					if rng.Bernoulli(m.SuccessProb[link]) {
+						delivered[link]++
+						break
+					}
+				}
+			}
+			if slots == 0 {
+				break
+			}
+		}
+	}
+	out := make([]float64, n)
+	for link := range out {
+		out[link] = float64(delivered[link]) / float64(intervals)
+	}
+	return out, nil
+}
+
+// sampleIndex draws an index from a discrete distribution.
+func sampleIndex(rng *sim.RNG, pi []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range pi {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(pi) - 1
+}
+
+// ExpectedWorkPerPriority returns, for the single-packet-per-interval
+// reliable-arrival case (one packet per link every interval), the EXACT
+// expected timely-throughput of the link at each priority position, computed
+// by dynamic programming over the remaining-slot distribution rather than
+// Monte Carlo. Position j's link transmits after positions 1..j-1 have
+// drained; its delivery probability is E[1 − (1−p_j)^(slots remaining)].
+//
+// probs must be ordered by priority: probs[0] is the highest priority link's
+// success probability. The returned slice is also priority-ordered.
+func ExpectedWorkPerPriority(probs []float64, slotsPerInterval int) ([]float64, error) {
+	n := len(probs)
+	if n == 0 {
+		return nil, fmt.Errorf("analysis: no links")
+	}
+	if slotsPerInterval <= 0 {
+		return nil, fmt.Errorf("analysis: non-positive slots %d", slotsPerInterval)
+	}
+	for i, p := range probs {
+		if p <= 0 || p > 1 {
+			return nil, fmt.Errorf("analysis: p at priority %d = %v outside (0, 1]", i+1, p)
+		}
+	}
+	// dist[s] = P{s slots remain} before the current priority transmits.
+	dist := make([]float64, slotsPerInterval+1)
+	dist[slotsPerInterval] = 1
+	out := make([]float64, n)
+	for j, p := range probs {
+		next := make([]float64, slotsPerInterval+1)
+		served := 0.0
+		for s, mass := range dist {
+			if mass == 0 {
+				continue
+			}
+			if s == 0 {
+				next[0] += mass
+				continue
+			}
+			// The link uses Geometric(p) attempts, truncated at s: it
+			// succeeds on attempt a ≤ s with probability (1−p)^(a−1)·p,
+			// leaving s−a slots; it fails outright with probability
+			// (1−p)^s, leaving 0 slots.
+			q := 1.0 // (1−p)^(a−1)
+			for a := 1; a <= s; a++ {
+				pa := q * p
+				served += mass * pa
+				next[s-a] += mass * pa
+				q *= 1 - p
+			}
+			next[0] += mass * q // all s attempts failed
+		}
+		out[j] = served
+		dist = next
+	}
+	return out, nil
+}

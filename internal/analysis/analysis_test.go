@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"rtmac/internal/arrival"
+	"rtmac/internal/core"
+	"rtmac/internal/mac"
+	"rtmac/internal/metrics"
+	"rtmac/internal/perm"
+	"rtmac/internal/phy"
+)
+
+func model(t *testing.T, n, slots int, p float64, proc arrival.Process) SlotModel {
+	t.Helper()
+	av, err := arrival.Uniform(n, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = p
+	}
+	return SlotModel{SlotsPerInterval: slots, SuccessProb: probs, Arrivals: av}
+}
+
+func TestValidate(t *testing.T) {
+	good := model(t, 2, 10, 0.7, arrival.Deterministic{N: 1})
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.SlotsPerInterval = 0
+	if bad.Validate() == nil {
+		t.Error("zero slots accepted")
+	}
+	bad2 := good
+	bad2.SuccessProb = []float64{0.7, 1.5}
+	if bad2.Validate() == nil {
+		t.Error("p > 1 accepted")
+	}
+	bad3 := good
+	bad3.Arrivals = nil
+	if bad3.Validate() == nil {
+		t.Error("nil arrivals accepted")
+	}
+}
+
+func TestExpectedWorkPerPrioritySingleLink(t *testing.T) {
+	// One link, s slots: delivery probability 1 − (1−p)^s.
+	for _, tc := range []struct {
+		p     float64
+		slots int
+	}{{0.7, 1}, {0.7, 3}, {0.5, 5}, {1, 2}} {
+		got, err := ExpectedWorkPerPriority([]float64{tc.p}, tc.slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Pow(1-tc.p, float64(tc.slots))
+		if math.Abs(got[0]-want) > 1e-12 {
+			t.Errorf("p=%v slots=%d: got %v, want %v", tc.p, tc.slots, got[0], want)
+		}
+	}
+}
+
+func TestExpectedWorkPerPriorityTwoLinksReliable(t *testing.T) {
+	// p = 1 for both, 2 slots: each link delivers exactly once.
+	got, err := ExpectedWorkPerPriority([]float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("got %v, want [1 1]", got)
+	}
+	// 1 slot: only the first delivers.
+	got, err = ExpectedWorkPerPriority([]float64{1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("got %v, want [1 0]", got)
+	}
+}
+
+func TestExpectedWorkPerPriorityTwoLinksUnreliable(t *testing.T) {
+	// p = 0.5, 2 slots. Priority 1: 1 − 0.25 = 0.75.
+	// Priority 2 gets a slot only when link 1 succeeded on attempt 1
+	// (prob 0.5, leaving 1 slot → succeeds w.p. 0.5): E = 0.25.
+	got, err := ExpectedWorkPerPriority([]float64{0.5, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.75) > 1e-12 || math.Abs(got[1]-0.25) > 1e-12 {
+		t.Fatalf("got %v, want [0.75 0.25]", got)
+	}
+}
+
+func TestExpectedWorkPerPriorityValidation(t *testing.T) {
+	if _, err := ExpectedWorkPerPriority(nil, 5); err == nil {
+		t.Error("empty probs accepted")
+	}
+	if _, err := ExpectedWorkPerPriority([]float64{0.5}, 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := ExpectedWorkPerPriority([]float64{0}, 5); err == nil {
+		t.Error("p = 0 accepted")
+	}
+}
+
+func TestPriorityThroughputMatchesExactDP(t *testing.T) {
+	// Deterministic one-packet arrivals: the Monte-Carlo slot model must
+	// agree with the exact dynamic program.
+	const (
+		n     = 5
+		slots = 8
+		p     = 0.6
+	)
+	m := model(t, n, slots, p, arrival.Deterministic{N: 1})
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = p
+	}
+	exact, err := ExpectedWorkPerPriority(probs, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := PriorityThroughput(m, perm.Identity(n), 3, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for link := 0; link < n; link++ {
+		// Identity priorities: link index = priority position.
+		if math.Abs(mc[link]-exact[link]) > 0.01 {
+			t.Errorf("priority %d: MC %v vs exact %v", link+1, mc[link], exact[link])
+		}
+	}
+}
+
+func TestPriorityThroughputRespectsOrdering(t *testing.T) {
+	// Reversed priorities must reverse the throughput profile.
+	const n = 4
+	m := model(t, n, 5, 0.7, arrival.Deterministic{N: 2})
+	rev, err := perm.New([]int{4, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := PriorityThroughput(m, perm.Identity(n), 5, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd, err := PriorityThroughput(m, rev, 5, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for link := 0; link < n; link++ {
+		if math.Abs(fwd[link]-bwd[n-1-link]) > 0.02 {
+			t.Errorf("link %d: forward %v, mirror %v", link, fwd[link], bwd[n-1-link])
+		}
+	}
+	if !(fwd[0] > fwd[n-1]) {
+		t.Fatalf("higher priority did not get more throughput: %v", fwd)
+	}
+}
+
+func TestPriorityThroughputValidation(t *testing.T) {
+	m := model(t, 3, 5, 0.7, arrival.Deterministic{N: 1})
+	if _, err := PriorityThroughput(m, perm.Identity(4), 1, 10); err == nil {
+		t.Error("wrong-size priorities accepted")
+	}
+	if _, err := PriorityThroughput(m, perm.Permutation{1, 1, 2}, 1, 10); err == nil {
+		t.Error("invalid priorities accepted")
+	}
+}
+
+func TestStationaryThroughputUniformIsSymmetric(t *testing.T) {
+	const n = 3
+	m := model(t, n, 4, 0.7, arrival.Deterministic{N: 1})
+	pi := make([]float64, perm.Factorial(n))
+	for i := range pi {
+		pi[i] = 1 / float64(len(pi))
+	}
+	tp, err := StationaryThroughput(m, pi, 7, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for link := 1; link < n; link++ {
+		if math.Abs(tp[link]-tp[0]) > 0.01 {
+			t.Fatalf("uniform ordering distribution produced asymmetric throughput %v", tp)
+		}
+	}
+}
+
+func TestStationaryThroughputFavorsHighMuLink(t *testing.T) {
+	const n = 3
+	m := model(t, n, 3, 0.7, arrival.Deterministic{N: 2}) // scarce slots
+	pi, err := perm.StationaryFromMu([]float64{0.2, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := StationaryThroughput(m, pi, 7, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tp[2] > tp[1] && tp[1] > tp[0]) {
+		t.Fatalf("throughput %v not increasing in µ", tp)
+	}
+}
+
+func TestStationaryThroughputValidation(t *testing.T) {
+	m := model(t, 3, 5, 0.7, arrival.Deterministic{N: 1})
+	if _, err := StationaryThroughput(m, []float64{1}, 1, 10); err == nil {
+		t.Error("wrong-size distribution accepted")
+	}
+}
+
+// TestSlotModelMatchesEventSimulator is the cross-validation promised in
+// DESIGN.md: the µs-resolution event-driven simulator running the DP
+// protocol with frozen priorities must agree with the independent slot-level
+// model, up to the small contention overhead (backoff slots shave a little
+// capacity off the last-served links).
+func TestSlotModelMatchesEventSimulator(t *testing.T) {
+	const (
+		n         = 6
+		intervals = 30000
+		p         = 0.7
+	)
+	// Profile: 20 slots of airtime per interval plus 50 µs of slack so the
+	// handful of 1 µs backoff slots never pushes the 20th exchange past the
+	// deadline — the slot model assumes exactly 20 usable slots.
+	profile := phy.Profile{Name: "xval", Slot: 1, DataAirtime: 100, EmptyAirtime: 10, Interval: 2050}
+	proc := arrival.BurstyUniform{Alpha: 0.9, Lo: 1, Hi: 5}
+
+	// Event-driven run.
+	av, err := arrival.Uniform(n, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, n)
+	req := make([]float64, n)
+	for i := range probs {
+		probs[i] = p
+		req[i] = proc.Mean()
+	}
+	prot, err := core.New(n, core.PaperDebtGlauber(), core.WithFrozenPriorities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := metrics.NewCollector(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := mac.NewNetwork(mac.NetworkConfig{
+		Seed:        9,
+		Profile:     profile,
+		SuccessProb: probs,
+		Arrivals:    av,
+		Required:    req,
+		Protocol:    prot,
+		Observers:   []mac.Observer{col},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(intervals); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slot-model prediction with the same 20 usable slots.
+	m := model(t, n, 20, p, proc)
+	predicted, err := PriorityThroughput(m, perm.Identity(n), 11, intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for link := 0; link < n; link++ {
+		got := col.Throughput(link)
+		want := predicted[link]
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("link %d: event sim %v vs slot model %v", link, got, want)
+		}
+	}
+}

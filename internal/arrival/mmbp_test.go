@@ -1,0 +1,117 @@
+package arrival
+
+import (
+	"math"
+	"testing"
+
+	"rtmac/internal/sim"
+)
+
+func TestMarkovModulatedValidation(t *testing.T) {
+	two, _ := Uniform(2, Deterministic{N: 1})
+	three, _ := Uniform(3, Deterministic{N: 1})
+	if _, err := NewMarkovModulated(nil, two, 0.5, 0.5); err == nil {
+		t.Error("nil regime accepted")
+	}
+	if _, err := NewMarkovModulated(two, three, 0.5, 0.5); err == nil {
+		t.Error("mismatched links accepted")
+	}
+	if _, err := NewMarkovModulated(two, two, 0, 0.5); err == nil {
+		t.Error("zero switch probability accepted")
+	}
+	if _, err := NewMarkovModulated(two, two, 0.5, 1.5); err == nil {
+		t.Error("switch probability above 1 accepted")
+	}
+}
+
+func TestMarkovModulatedStationaryMean(t *testing.T) {
+	low, _ := Uniform(2, Deterministic{N: 0})
+	high, _ := Uniform(2, Deterministic{N: 4})
+	m, err := NewMarkovModulated(low, high, 0.1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(high) = 0.1/0.4 = 0.25; mean = 0.25·4 = 1.
+	for _, mu := range m.Means() {
+		if math.Abs(mu-1) > 1e-12 {
+			t.Fatalf("Means = %v, want all 1", m.Means())
+		}
+	}
+	if got := m.MaxPerLink(); got[0] != 4 || got[1] != 4 {
+		t.Fatalf("MaxPerLink = %v", got)
+	}
+}
+
+func TestMarkovModulatedEmpirical(t *testing.T) {
+	low, _ := Uniform(1, Deterministic{N: 0})
+	high, _ := Uniform(1, Deterministic{N: 2})
+	m, err := NewMarkovModulated(low, high, 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(5)
+	dst := make([]int, 1)
+	const intervals = 100000
+	sum := 0
+	switches := 0
+	prev := m.InHigh()
+	runLen, runs := 0, 0
+	for k := 0; k < intervals; k++ {
+		m.Sample(rng, dst)
+		sum += dst[0]
+		if m.InHigh() != prev {
+			switches++
+			prev = m.InHigh()
+			runs++
+			runLen = 0
+		}
+		runLen++
+	}
+	// Stationary mean = 0.5·2 = 1.
+	got := float64(sum) / intervals
+	if math.Abs(got-1) > 0.03 {
+		t.Fatalf("empirical mean %v, want ≈ 1", got)
+	}
+	// Regimes persist: with switch probability 0.2 the expected run length
+	// is 5 intervals, so the number of switches is ≈ intervals/5, far from
+	// the i.i.d. value of intervals/2.
+	if switches < intervals/7 || switches > intervals/3 {
+		t.Fatalf("switches = %d over %d intervals, want ≈ %d", switches, intervals, intervals/5)
+	}
+	_ = runs
+	_ = runLen
+}
+
+func TestMarkovModulatedTemporalCorrelation(t *testing.T) {
+	// Consecutive-interval samples must be positively correlated, unlike
+	// every i.i.d. process in this package.
+	low, _ := Uniform(1, Deterministic{N: 0})
+	high, _ := Uniform(1, Deterministic{N: 1})
+	m, err := NewMarkovModulated(low, high, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(6)
+	dst := make([]int, 1)
+	const intervals = 50000
+	var xs []float64
+	for k := 0; k < intervals; k++ {
+		m.Sample(rng, dst)
+		xs = append(xs, float64(dst[0]))
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	num, den := 0.0, 0.0
+	for i := 0; i+1 < len(xs); i++ {
+		num += (xs[i] - mean) * (xs[i+1] - mean)
+		den += (xs[i] - mean) * (xs[i] - mean)
+	}
+	autocorr := num / den
+	// Theory: lag-1 autocorrelation of the regime chain is 1 − 0.1 − 0.1 = 0.8.
+	if autocorr < 0.7 {
+		t.Fatalf("lag-1 autocorrelation %v, want ≈ 0.8", autocorr)
+	}
+}

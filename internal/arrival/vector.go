@@ -1,0 +1,144 @@
+package arrival
+
+import (
+	"fmt"
+
+	"rtmac/internal/sim"
+)
+
+// VectorProcess samples the joint arrival vector A(k) of all links for one
+// interval. The paper allows arrivals of different links within an interval
+// to be correlated (Section II-B); this interface is the hook for that.
+type VectorProcess interface {
+	// Links returns N, the number of links.
+	Links() int
+	// Means returns the mean vector λ.
+	Means() []float64
+	// MaxPerLink returns A_max bounds per link.
+	MaxPerLink() []int
+	// Sample draws one joint arrival vector, writing into dst (len N).
+	Sample(rng *sim.RNG, dst []int)
+}
+
+// Independent combines per-link processes into a vector process with
+// independent coordinates.
+type Independent struct {
+	procs []Process
+}
+
+// NewIndependent wraps per-link processes. It returns an error when the
+// list is empty or contains a nil entry.
+func NewIndependent(procs ...Process) (*Independent, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("arrival: no per-link processes")
+	}
+	for n, p := range procs {
+		if p == nil {
+			return nil, fmt.Errorf("arrival: nil process for link %d", n)
+		}
+	}
+	cp := make([]Process, len(procs))
+	copy(cp, procs)
+	return &Independent{procs: cp}, nil
+}
+
+// Uniform builds an Independent vector with the same process on every link.
+func Uniform(n int, p Process) (*Independent, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("arrival: non-positive link count %d", n)
+	}
+	procs := make([]Process, n)
+	for i := range procs {
+		procs[i] = p
+	}
+	return NewIndependent(procs...)
+}
+
+// Links implements VectorProcess.
+func (v *Independent) Links() int { return len(v.procs) }
+
+// Means implements VectorProcess.
+func (v *Independent) Means() []float64 {
+	means := make([]float64, len(v.procs))
+	for n, p := range v.procs {
+		means[n] = p.Mean()
+	}
+	return means
+}
+
+// MaxPerLink implements VectorProcess.
+func (v *Independent) MaxPerLink() []int {
+	maxes := make([]int, len(v.procs))
+	for n, p := range v.procs {
+		maxes[n] = p.Max()
+	}
+	return maxes
+}
+
+// Sample implements VectorProcess.
+func (v *Independent) Sample(rng *sim.RNG, dst []int) {
+	for n, p := range v.procs {
+		dst[n] = p.Sample(rng)
+	}
+}
+
+// CommonShock correlates link arrivals through a shared burst indicator:
+// with probability Gamma the whole network draws from High, otherwise from
+// Low. It demonstrates the paper's allowance for within-interval correlation
+// while keeping {A(k)} i.i.d. across intervals.
+type CommonShock struct {
+	gamma     float64
+	low, high VectorProcess
+}
+
+// NewCommonShock validates and builds the correlated process. Low and high
+// must describe the same number of links.
+func NewCommonShock(gamma float64, low, high VectorProcess) (*CommonShock, error) {
+	switch {
+	case gamma < 0 || gamma > 1:
+		return nil, fmt.Errorf("arrival: shock probability %v outside [0, 1]", gamma)
+	case low == nil || high == nil:
+		return nil, fmt.Errorf("arrival: nil regime process")
+	case low.Links() != high.Links():
+		return nil, fmt.Errorf("arrival: regime link counts differ: %d vs %d", low.Links(), high.Links())
+	}
+	return &CommonShock{gamma: gamma, low: low, high: high}, nil
+}
+
+// Links implements VectorProcess.
+func (c *CommonShock) Links() int { return c.low.Links() }
+
+// Means implements VectorProcess.
+func (c *CommonShock) Means() []float64 {
+	lo, hi := c.low.Means(), c.high.Means()
+	means := make([]float64, len(lo))
+	for n := range means {
+		means[n] = (1-c.gamma)*lo[n] + c.gamma*hi[n]
+	}
+	return means
+}
+
+// MaxPerLink implements VectorProcess.
+func (c *CommonShock) MaxPerLink() []int {
+	lo, hi := c.low.MaxPerLink(), c.high.MaxPerLink()
+	maxes := make([]int, len(lo))
+	for n := range maxes {
+		maxes[n] = max(lo[n], hi[n])
+	}
+	return maxes
+}
+
+// Sample implements VectorProcess.
+func (c *CommonShock) Sample(rng *sim.RNG, dst []int) {
+	if rng.Bernoulli(c.gamma) {
+		c.high.Sample(rng, dst)
+		return
+	}
+	c.low.Sample(rng, dst)
+}
+
+// Interface compliance.
+var (
+	_ VectorProcess = (*Independent)(nil)
+	_ VectorProcess = (*CommonShock)(nil)
+)

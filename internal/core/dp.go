@@ -1,0 +1,436 @@
+package core
+
+import (
+	"fmt"
+
+	"rtmac/internal/mac"
+	"rtmac/internal/perm"
+	"rtmac/internal/sim"
+)
+
+// minMu bounds the coin bias away from {0, 1} so that every adjacent
+// transposition keeps positive probability (Lemma 4's irreducibility needs
+// µ_n ∈ (0, 1)).
+const minMu = 1e-9
+
+// Option configures the DP protocol.
+type Option func(*Protocol) error
+
+// WithPairs enables the Remark 6 extension: m non-adjacent priority pairs
+// are selected for swapping in every interval instead of one.
+func WithPairs(m int) Option {
+	return func(p *Protocol) error {
+		if m < 1 {
+			return fmt.Errorf("core: pair count %d must be at least 1", m)
+		}
+		p.pairs = m
+		return nil
+	}
+}
+
+// WithInitialPriorities sets σ(0). The default is the identity permutation
+// (link n starts at priority n+1).
+func WithInitialPriorities(prio perm.Permutation) Option {
+	return func(p *Protocol) error {
+		if !prio.Valid() {
+			return fmt.Errorf("core: initial priorities %v are not a permutation", prio)
+		}
+		p.initial = prio.Clone()
+		return nil
+	}
+}
+
+// WithFrozenPriorities disables randomized reordering entirely: the priority
+// ordering stays at σ(0) forever. Used for the paper's Figure 6 experiment
+// (average timely-throughput per fixed priority index).
+func WithFrozenPriorities() Option {
+	return func(p *Protocol) error {
+		p.frozen = true
+		return nil
+	}
+}
+
+// pairState tracks one swap pair's coordination through an interval.
+type pairState struct {
+	c        int // priority position: links at priorities c and c+1 are the candidates
+	down, up int // link IDs: down holds priority c, up holds c+1
+	// xiDown/xiUp are the ±1 coin outcomes of Eq. 5.
+	xiDown, xiUp int
+	// downSensedBusy: the down candidate's timer reached one and the channel
+	// was busy at that instant (Eq. 7 swap-down condition).
+	downSensedBusy bool
+	// upSensedIdle: the up candidate's timer reached one and the channel was
+	// idle at that instant (Eq. 8 swap-up condition).
+	upSensedIdle bool
+	// upStarted: the up candidate actually began a transmission when its
+	// timer expired, which is the physical signal the down candidate hears.
+	upStarted bool
+}
+
+// Protocol is the decentralized priority protocol (Algorithm 2) with a
+// pluggable reordering bias. With the DebtGlauber policy it is the DB-DP
+// algorithm. Construct with New.
+type Protocol struct {
+	policy  MuPolicy
+	pairs   int
+	frozen  bool
+	initial perm.Permutation
+
+	prio perm.Permutation // σ(k-1), carried across intervals
+
+	// Per-interval scratch, reused across intervals to keep the per-interval
+	// allocation count flat.
+	active    []pairState
+	backoffs  []int
+	xiRNGs    []*sim.RNG
+	fireFns   []func() bool
+	positions []int
+	// swaps counts committed priority exchanges, for diagnostics.
+	swaps int64
+}
+
+// New builds a DP protocol for n links using the given µ policy.
+func New(n int, policy MuPolicy, opts ...Option) (*Protocol, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: need at least 1 link, got %d", n)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("core: nil µ policy")
+	}
+	p := &Protocol{policy: policy, pairs: 1}
+	for _, opt := range opts {
+		if err := opt(p); err != nil {
+			return nil, err
+		}
+	}
+	if p.initial == nil {
+		p.initial = perm.Identity(n)
+	}
+	if p.initial.Len() != n {
+		return nil, fmt.Errorf("core: initial priorities cover %d links, want %d",
+			p.initial.Len(), n)
+	}
+	if max := n / 2; p.pairs > max && !p.frozen {
+		return nil, fmt.Errorf("core: %d non-adjacent pairs do not fit %d links (max %d)",
+			p.pairs, n, max)
+	}
+	p.prio = p.initial.Clone()
+	return p, nil
+}
+
+// NewDBDP builds the paper's DB-DP algorithm: DP with the Eq. 14 debt-based
+// Glauber bias and the paper's evaluation parameters.
+func NewDBDP(n int, opts ...Option) (*Protocol, error) {
+	return New(n, PaperDebtGlauber(), opts...)
+}
+
+// Name implements mac.Protocol.
+func (p *Protocol) Name() string {
+	switch {
+	case p.frozen:
+		return "dp-frozen"
+	case p.pairs > 1:
+		return fmt.Sprintf("dbdp[%s,pairs=%d]", p.policy.Name(), p.pairs)
+	default:
+		return fmt.Sprintf("dbdp[%s]", p.policy.Name())
+	}
+}
+
+// Priorities returns σ(k-1), the current priority assignment.
+func (p *Protocol) Priorities() perm.Permutation { return p.prio.Clone() }
+
+// Swaps returns the number of committed priority exchanges so far.
+func (p *Protocol) Swaps() int64 { return p.swaps }
+
+// BeginInterval implements mac.Protocol.
+func (p *Protocol) BeginInterval(ctx *mac.Context) {
+	n := ctx.Links()
+	p.active = p.active[:0]
+
+	if !p.frozen && n >= 2 {
+		p.selectPairs(ctx)
+	}
+
+	// Step 2: swap candidates without traffic queue an empty frame so their
+	// priority claim is audible.
+	for i := range p.active {
+		ps := &p.active[i]
+		if ctx.Pending(ps.down) == 0 {
+			ctx.QueueEmptyFrame(ps.down)
+		}
+		if ctx.Pending(ps.up) == 0 {
+			ctx.QueueEmptyFrame(ps.up)
+		}
+	}
+
+	// Steps 4–6: derive backoff counters from priorities and coin tosses,
+	// register every link that has something to send. The fire closures are
+	// built once per network (the context object is stable across
+	// intervals) and reused every interval.
+	if p.fireFns == nil {
+		p.fireFns = make([]func() bool, n)
+		for link := 0; link < n; link++ {
+			link := link
+			p.fireFns[link] = func() bool { return p.fire(ctx, link) }
+		}
+	}
+	backoffs := p.computeBackoffs(n)
+	cont := ctx.Contention()
+	for link := 0; link < n; link++ {
+		if !ctx.HasTraffic(link) {
+			continue
+		}
+		contender := mac.Contender{Fire: p.fireFns[link]}
+		if hook := p.sensingHook(link); hook != nil {
+			contender.ReachedOne = hook
+		}
+		cont.Add(link, backoffs[link], contender)
+	}
+	cont.Settle()
+}
+
+// selectPairs draws the interval's swap positions (Step 1 of Algorithm 2;
+// uniformly random C(k), or m pairwise non-adjacent positions under the
+// Remark 6 extension) and the candidates' coins (Step 3).
+func (p *Protocol) selectPairs(ctx *mac.Context) {
+	n := ctx.Links()
+	// The common random seed shared by all devices (Step 1) is modelled by
+	// a single engine stream: every link observes the same C(k).
+	common := ctx.Eng.RNG("dp-common")
+	if p.pairs == 1 {
+		// Fast path reusing the scratch slice (the general sampler allocates).
+		p.positions = append(p.positions[:0], 1+common.IntN(n-1))
+	} else {
+		p.positions = append(p.positions[:0], samplePairPositions(common, n, p.pairs)...)
+	}
+	for _, c := range p.positions {
+		down := p.prio.LinkAtPriority(c)
+		up := p.prio.LinkAtPriority(c + 1)
+		ps := pairState{c: c, down: down, up: up, xiDown: -1, xiUp: -1}
+		// Individual coin tosses (Eq. 5) from per-link streams.
+		if p.xiRNG(ctx, down).Bernoulli(clampMu(p.policy.Mu(ctx, down))) {
+			ps.xiDown = 1
+		}
+		if p.xiRNG(ctx, up).Bernoulli(clampMu(p.policy.Mu(ctx, up))) {
+			ps.xiUp = 1
+		}
+		p.active = append(p.active, ps)
+	}
+}
+
+// xiRNG returns link's private coin stream, caching the lookup (the name
+// derivation allocates; priorities swap every interval so every link's
+// stream is hot).
+func (p *Protocol) xiRNG(ctx *mac.Context, link int) *sim.RNG {
+	if p.xiRNGs == nil {
+		p.xiRNGs = make([]*sim.RNG, ctx.Links())
+	}
+	if p.xiRNGs[link] == nil {
+		p.xiRNGs[link] = ctx.Eng.RNG(fmt.Sprintf("dp-xi-%d", link))
+	}
+	return p.xiRNGs[link]
+}
+
+// samplePairPositions selects count positions from {1..n-1} such that no two
+// are adjacent (positions c and c+1 overlap in links). Sampling is uniform
+// over valid sets via rejection; the fallback after excessive rejections is
+// the deterministic densest packing, which can only trigger for pair counts
+// near the theoretical maximum.
+func samplePairPositions(rng interface{ IntN(int) int }, n, count int) []int {
+	if count == 1 {
+		return []int{1 + rng.IntN(n-1)}
+	}
+	const maxAttempts = 256
+attempt:
+	for a := 0; a < maxAttempts; a++ {
+		chosen := make(map[int]bool, count)
+		for len(chosen) < count {
+			chosen[1+rng.IntN(n-1)] = true
+		}
+		positions := make([]int, 0, count)
+		for c := 1; c < n; c++ {
+			if chosen[c] {
+				positions = append(positions, c)
+			}
+		}
+		for i := 1; i < len(positions); i++ {
+			if positions[i]-positions[i-1] < 2 {
+				continue attempt
+			}
+		}
+		return positions
+	}
+	positions := make([]int, count)
+	for i := range positions {
+		positions[i] = 1 + 2*i
+	}
+	return positions
+}
+
+// computeBackoffs assigns the Eq. 6 backoff counters generalized to multiple
+// pairs: walking priorities from highest to lowest, each non-candidate link
+// takes the next free counter value, and each pair reserves a window of four
+// values {v, v+1, v+2, v+3} with
+//
+//	down ∈ {v   (ξ=+1), v+2 (ξ=−1)},  up ∈ {v+1 (ξ=+1), v+3 (ξ=−1)}.
+//
+// For a single pair at priority C this reduces exactly to Eq. 6, and the
+// assignment is injective, which makes the protocol collision-free.
+func (p *Protocol) computeBackoffs(n int) []int {
+	if cap(p.backoffs) < n {
+		p.backoffs = make([]int, n)
+	}
+	backoffs := p.backoffs[:n]
+	// pairStartingAt finds the active pair anchored at priority pr; the pair
+	// count is tiny (1 in the paper, ≤ N/2 with Remark 6), so a linear scan
+	// beats a map.
+	pairStartingAt := func(pr int) *pairState {
+		for i := range p.active {
+			if p.active[i].c == pr {
+				return &p.active[i]
+			}
+		}
+		return nil
+	}
+	v := 0
+	pr := 1
+	for pr <= n {
+		if ps := pairStartingAt(pr); ps != nil {
+			if ps.xiDown == 1 {
+				backoffs[ps.down] = v
+			} else {
+				backoffs[ps.down] = v + 2
+			}
+			if ps.xiUp == 1 {
+				backoffs[ps.up] = v + 1
+			} else {
+				backoffs[ps.up] = v + 3
+			}
+			v += 4
+			pr += 2
+			continue
+		}
+		backoffs[p.prio.LinkAtPriority(pr)] = v
+		v++
+		pr++
+	}
+	return backoffs
+}
+
+// sensingHook returns the carrier-sensing callback a candidate installs for
+// the instant its backoff timer reaches one, or nil when the link's coin
+// makes sensing irrelevant.
+func (p *Protocol) sensingHook(link int) func(bool) {
+	for i := range p.active {
+		ps := &p.active[i]
+		if ps.down == link && ps.xiDown == -1 {
+			// Eq. 7: a down-tending candidate moves down iff the channel is
+			// busy when its timer reaches one (it hears the up candidate).
+			return func(busy bool) { ps.downSensedBusy = busy }
+		}
+		if ps.up == link && ps.xiUp == 1 {
+			// Eq. 8: an up-tending candidate arms the swap iff the channel
+			// is idle when its timer reaches one (the down candidate is
+			// conspicuously absent from its keep-slot).
+			return func(busy bool) { ps.upSensedIdle = !busy }
+		}
+	}
+	return nil
+}
+
+// fire is Step 6: when the timer expires the link transmits its buffered
+// packets back-to-back until the interval ends or the buffer drains.
+//
+// A swap candidate whose data exchange no longer fits before the deadline
+// falls back to an empty priority-claiming frame if that still fits: its
+// transmission is the signal the partner's Eq. 7 sensing relies on, and
+// without the fallback the two candidates could reach inconsistent
+// conclusions (one swapping, the other not), breaking the bijectivity of σ.
+func (p *Protocol) fire(ctx *mac.Context, link int) bool {
+	started := false
+	if ctx.Pending(link) > 0 {
+		started = ctx.TransmitData(link, func(delivered bool) {
+			p.reportOutcome(link, delivered)
+			p.continueChain(ctx, link)
+		})
+		if !started && p.isCandidate(link) {
+			started = ctx.ForceEmptyFrame(link, nil)
+		}
+	} else if ctx.HasEmptyFrame(link) {
+		started = ctx.TransmitEmpty(link, nil)
+	}
+	if started {
+		p.markStarted(link)
+	}
+	return started
+}
+
+func (p *Protocol) continueChain(ctx *mac.Context, link int) {
+	if ctx.Pending(link) > 0 {
+		ctx.TransmitData(link, func(delivered bool) {
+			p.reportOutcome(link, delivered)
+			p.continueChain(ctx, link)
+		})
+	}
+}
+
+// reportOutcome feeds a data-transmission result to policies that learn
+// channel reliability from their own ACKs.
+func (p *Protocol) reportOutcome(link int, delivered bool) {
+	if obs, ok := p.policy.(OutcomeObserver); ok {
+		obs.ObserveOutcome(link, delivered)
+	}
+}
+
+func (p *Protocol) isCandidate(link int) bool {
+	for i := range p.active {
+		if p.active[i].down == link || p.active[i].up == link {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Protocol) markStarted(link int) {
+	for i := range p.active {
+		if p.active[i].up == link {
+			p.active[i].upStarted = true
+		}
+	}
+}
+
+// EndInterval implements mac.Protocol: commit the priority exchanges that
+// both candidates confirmed (Eqs. 7–8); changes take effect from the next
+// interval, as in Algorithm 2.
+func (p *Protocol) EndInterval(*mac.Context) {
+	for i := range p.active {
+		ps := &p.active[i]
+		swapDown := ps.xiDown == -1 && ps.downSensedBusy
+		swapUp := ps.xiUp == 1 && ps.upSensedIdle && ps.upStarted
+		if swapDown != swapUp {
+			// By construction these two local decisions observe the same
+			// boundary events; disagreement means the simulation violated
+			// the protocol's coordination invariant.
+			panic(fmt.Sprintf(
+				"core: inconsistent swap at priority %d: down(link %d)=%v up(link %d)=%v",
+				ps.c, ps.down, swapDown, ps.up, swapUp))
+		}
+		if swapDown {
+			p.prio = p.prio.SwapAtPriority(ps.c)
+			p.swaps++
+		}
+	}
+	p.active = p.active[:0]
+}
+
+func clampMu(mu float64) float64 {
+	if mu < minMu {
+		return minMu
+	}
+	if mu > 1-minMu {
+		return 1 - minMu
+	}
+	return mu
+}
+
+var _ mac.Protocol = (*Protocol)(nil)

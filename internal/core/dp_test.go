@@ -1,0 +1,587 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rtmac/internal/arrival"
+	"rtmac/internal/mac"
+	"rtmac/internal/metrics"
+	"rtmac/internal/perm"
+	"rtmac/internal/phy"
+	"rtmac/internal/sim"
+)
+
+func fastProfile() phy.Profile {
+	return phy.Profile{Name: "test", Slot: 1, DataAirtime: 10, EmptyAirtime: 2, Interval: 100}
+}
+
+// tightProfile leaves barely any slack: 3 data exchanges plus a handful of
+// slots per interval, to exercise deadline squeezes.
+func tightProfile() phy.Profile {
+	return phy.Profile{Name: "tight", Slot: 1, DataAirtime: 10, EmptyAirtime: 2, Interval: 34}
+}
+
+type dpFixture struct {
+	nw   *mac.Network
+	col  *metrics.Collector
+	prot *Protocol
+}
+
+func newDPFixture(t *testing.T, seed uint64, p []float64, av arrival.VectorProcess,
+	q []float64, profile phy.Profile, prot *Protocol) *dpFixture {
+	t.Helper()
+	col, err := metrics.NewCollector(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := mac.NewNetwork(mac.NetworkConfig{
+		Seed:        seed,
+		Profile:     profile,
+		SuccessProb: p,
+		Arrivals:    av,
+		Required:    q,
+		Protocol:    prot,
+		Observers:   []mac.Observer{col},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &dpFixture{nw: nw, col: col, prot: prot}
+}
+
+func uniformProbs(n int, p float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, ConstantMu{0.5}); err == nil {
+		t.Error("zero links accepted")
+	}
+	if _, err := New(3, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := New(3, ConstantMu{0.5}, WithPairs(0)); err == nil {
+		t.Error("zero pairs accepted")
+	}
+	if _, err := New(4, ConstantMu{0.5}, WithPairs(3)); err == nil {
+		t.Error("too many pairs accepted")
+	}
+	if _, err := New(3, ConstantMu{0.5}, WithInitialPriorities(perm.Permutation{1, 1, 2})); err == nil {
+		t.Error("invalid initial priorities accepted")
+	}
+	if _, err := New(3, ConstantMu{0.5}, WithInitialPriorities(perm.Identity(4))); err == nil {
+		t.Error("wrong-size initial priorities accepted")
+	}
+}
+
+func TestDPIsCollisionFree(t *testing.T) {
+	// The headline protocol property: zero collisions, ever, under load and
+	// unreliable channels.
+	const n = 8
+	av, err := arrival.Uniform(n, arrival.BurstyUniform{Alpha: 0.7, Lo: 1, Hi: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := NewDBDP(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = 0.9 * 0.7 * 2
+	}
+	fx := newDPFixture(t, 11, uniformProbs(n, 0.7), av, q, fastProfile(), prot)
+	if err := fx.nw.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	st := fx.nw.Medium().Stats()
+	if st.Collisions != 0 {
+		t.Fatalf("DP protocol collided %d times", st.Collisions)
+	}
+	if st.Transmissions == 0 {
+		t.Fatal("nothing transmitted")
+	}
+}
+
+func TestDPPrioritiesStayBijective(t *testing.T) {
+	const n = 6
+	av, err := arrival.Uniform(n, arrival.BurstyUniform{Alpha: 0.8, Lo: 1, Hi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := NewDBDP(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = 1.0
+	}
+	// The tight profile forces frequent deadline squeezes, the regime where
+	// inconsistent swaps would corrupt σ.
+	fx := newDPFixture(t, 13, uniformProbs(n, 0.6), av, q, tightProfile(), prot)
+	for k := 0; k < 1500; k++ {
+		if err := fx.nw.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		if !fx.prot.Priorities().Valid() {
+			t.Fatalf("σ corrupted after interval %d: %v", k, fx.prot.Priorities())
+		}
+	}
+}
+
+func TestDPSwapsHappen(t *testing.T) {
+	prot, err := New(4, ConstantMu{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := arrival.Uniform(4, arrival.Deterministic{N: 1})
+	fx := newDPFixture(t, 17, uniformProbs(4, 1), av, []float64{1, 1, 1, 1}, fastProfile(), prot)
+	if err := fx.nw.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	// With µ = 0.5 a selected pair swaps with probability 1/4; over 200
+	// intervals ≈ 50 swaps. Anything above 10 proves the machinery works.
+	if prot.Swaps() < 10 {
+		t.Fatalf("only %d swaps in 200 intervals", prot.Swaps())
+	}
+}
+
+func TestDPFrozenNeverSwaps(t *testing.T) {
+	initial, _ := perm.New([]int{3, 1, 2})
+	prot, err := New(3, ConstantMu{0.5}, WithFrozenPriorities(), WithInitialPriorities(initial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := arrival.Uniform(3, arrival.Deterministic{N: 1})
+	fx := newDPFixture(t, 19, uniformProbs(3, 1), av, []float64{1, 1, 1}, fastProfile(), prot)
+	if err := fx.nw.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if prot.Swaps() != 0 {
+		t.Fatalf("frozen protocol swapped %d times", prot.Swaps())
+	}
+	if !prot.Priorities().Equal(initial) {
+		t.Fatalf("frozen priorities drifted to %v", prot.Priorities())
+	}
+}
+
+func TestDPEmptyFramesClaimPriority(t *testing.T) {
+	// Links with no arrivals that are swap candidates must put empty frames
+	// on the air; over many empty intervals the medium must register them.
+	prot, err := New(4, ConstantMu{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := arrival.Uniform(4, arrival.Deterministic{N: 0}) // never any traffic
+	fx := newDPFixture(t, 23, uniformProbs(4, 1), av, []float64{0, 0, 0, 0}, fastProfile(), prot)
+	if err := fx.nw.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	st := fx.nw.Medium().Stats()
+	if st.EmptyFrames == 0 {
+		t.Fatal("no empty priority-claiming frames transmitted")
+	}
+	if st.Deliveries != 0 {
+		t.Fatal("data deliveries counted in an empty network")
+	}
+	// Swaps must still occur — the protocol keeps reordering even without
+	// traffic, which is what prevents starvation lock-in.
+	if prot.Swaps() == 0 {
+		t.Fatal("no swaps without data traffic")
+	}
+}
+
+// forceXi returns a PerLinkMu that makes coin outcomes deterministic:
+// µ ≈ 1 forces ξ = +1, µ ≈ 0 forces ξ = −1.
+func forceXi(xi map[int]int, n int) PerLinkMu {
+	vals := make([]float64, n)
+	for link := 0; link < n; link++ {
+		switch xi[link] {
+		case 1:
+			vals[link] = 1 - 1e-12
+		case -1:
+			vals[link] = 1e-12
+		default:
+			vals[link] = 0.5
+		}
+	}
+	return PerLinkMu{Values: vals}
+}
+
+// TestDPExampleTwoSwap reconstructs Example 2 / Figure 2 of the paper: with
+// links at priorities [1,2,3,4], the pair (2,3) is selected, link at
+// priority 2 tends down (ξ=−1) and link at priority 3 tends up (ξ=+1); they
+// must exchange priorities, yielding [1,3,2,4].
+func TestDPExampleTwoSwap(t *testing.T) {
+	const n = 4
+	// Find a seed whose first C(k) draw on the protocol's common stream
+	// selects priority pair (2,3).
+	seed := uint64(0)
+	for s := uint64(1); s < 200; s++ {
+		if 1+sim.NewEngine(s).RNG("dp-common").IntN(n-1) == 2 {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no probe seed found")
+	}
+	prot, err := New(n, forceXi(map[int]int{1: -1, 2: 1}, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := arrival.Uniform(n, arrival.Deterministic{N: 1})
+	fx := newDPFixture(t, seed, uniformProbs(n, 1), av, []float64{1, 1, 1, 1}, fastProfile(), prot)
+	if err := fx.nw.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := perm.New([]int{1, 3, 2, 4})
+	if !prot.Priorities().Equal(want) {
+		t.Fatalf("after Example-2 interval σ = %v, want %v", prot.Priorities(), want)
+	}
+	if prot.Swaps() != 1 {
+		t.Fatalf("swaps = %d, want 1", prot.Swaps())
+	}
+}
+
+// TestDPNoSwapWhenBothTendUp checks the keep case: both candidates draw
+// ξ=+1, the priority holder wins, no exchange.
+func TestDPNoSwapWhenBothTendUp(t *testing.T) {
+	const n = 4
+	prot, err := New(n, forceXi(map[int]int{0: 1, 1: 1, 2: 1, 3: 1}, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := arrival.Uniform(n, arrival.Deterministic{N: 1})
+	fx := newDPFixture(t, 3, uniformProbs(n, 1), av, []float64{1, 1, 1, 1}, fastProfile(), prot)
+	if err := fx.nw.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if prot.Swaps() != 0 {
+		t.Fatalf("swaps = %d, want 0 when every link tends up", prot.Swaps())
+	}
+	if !prot.Priorities().Equal(perm.Identity(n)) {
+		t.Fatalf("priorities drifted: %v", prot.Priorities())
+	}
+}
+
+// TestDPNoSwapWhenBothTendDown checks the other keep case.
+func TestDPNoSwapWhenBothTendDown(t *testing.T) {
+	const n = 4
+	prot, err := New(n, forceXi(map[int]int{0: -1, 1: -1, 2: -1, 3: -1}, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := arrival.Uniform(n, arrival.Deterministic{N: 1})
+	fx := newDPFixture(t, 3, uniformProbs(n, 1), av, []float64{1, 1, 1, 1}, fastProfile(), prot)
+	if err := fx.nw.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if prot.Swaps() != 0 {
+		t.Fatalf("swaps = %d, want 0 when every link tends down", prot.Swaps())
+	}
+}
+
+// TestDPStationaryDistribution is the central theory-vs-simulation check:
+// under constant per-link µ and saturated traffic, the empirical
+// distribution of σ(k) must converge to the product form of Proposition 2.
+func TestDPStationaryDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long empirical-distribution test")
+	}
+	const n = 3
+	mu := []float64{0.3, 0.5, 0.7}
+	prot, err := New(n, PerLinkMu{Values: mu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := arrival.Uniform(n, arrival.Deterministic{N: 1})
+	profile := phy.Profile{Name: "t", Slot: 1, DataAirtime: 10, EmptyAirtime: 2, Interval: 50}
+	fx := newDPFixture(t, 29, uniformProbs(n, 1), av, []float64{1, 1, 1}, profile, prot)
+
+	counts := make([]float64, perm.Factorial(n))
+	const (
+		burnIn  = 2000
+		samples = 60000
+	)
+	if err := fx.nw.Run(burnIn); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < samples; i++ {
+		if err := fx.nw.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		counts[prot.Priorities().Rank()]++
+	}
+	for i := range counts {
+		counts[i] /= samples
+	}
+	want, err := perm.StationaryFromMu(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := perm.TotalVariation(counts, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > 0.03 {
+		t.Fatalf("empirical vs Proposition-2 stationary TV distance %v (counts %v, want %v)",
+			tv, counts, want)
+	}
+}
+
+func TestDPMultiPairCollisionFreeAndBijective(t *testing.T) {
+	const n = 9
+	av, err := arrival.Uniform(n, arrival.BurstyUniform{Alpha: 0.6, Lo: 1, Hi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := New(n, ConstantMu{0.5}, WithPairs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = 0.5
+	}
+	profile := phy.Profile{Name: "t", Slot: 1, DataAirtime: 10, EmptyAirtime: 2, Interval: 200}
+	fx := newDPFixture(t, 31, uniformProbs(n, 0.8), av, q, profile, prot)
+	for k := 0; k < 800; k++ {
+		if err := fx.nw.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		if !prot.Priorities().Valid() {
+			t.Fatalf("σ corrupted after interval %d: %v", k, prot.Priorities())
+		}
+	}
+	if fx.nw.Medium().Stats().Collisions != 0 {
+		t.Fatalf("multi-pair DP collided %d times", fx.nw.Medium().Stats().Collisions)
+	}
+	if prot.Swaps() == 0 {
+		t.Fatal("multi-pair DP never swapped")
+	}
+}
+
+func TestComputeBackoffsMatchEquationSix(t *testing.T) {
+	// For a single pair at priority C the generalized assignment must
+	// reproduce Eq. 6 exactly, for every C and every coin combination.
+	const n = 6
+	for c := 1; c < n; c++ {
+		for _, xiDown := range []int{1, -1} {
+			for _, xiUp := range []int{1, -1} {
+				p := &Protocol{pairs: 1, prio: perm.Identity(n)}
+				p.active = []pairState{{
+					c:      c,
+					down:   p.prio.LinkAtPriority(c),
+					up:     p.prio.LinkAtPriority(c + 1),
+					xiDown: xiDown,
+					xiUp:   xiUp,
+				}}
+				backoffs := p.computeBackoffs(n)
+				for link := 0; link < n; link++ {
+					sigma := p.prio[link]
+					var want int
+					switch {
+					case sigma < c:
+						want = sigma - 1
+					case sigma > c+1:
+						want = sigma + 1
+					case sigma == c:
+						want = sigma - xiDown
+					default: // sigma == c+1
+						want = sigma - xiUp
+					}
+					if backoffs[link] != want {
+						t.Fatalf("C=%d ξ=(%d,%d) link %d (σ=%d): backoff %d, want %d",
+							c, xiDown, xiUp, link, sigma, backoffs[link], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: backoff assignments are always injective over links with any
+// pair placement and coin outcome — the collision-freedom invariant.
+func TestBackoffInjectivityProperty(t *testing.T) {
+	prop := func(permRank uint16, pairSeed uint32, coins uint8, pairCountRaw uint8) bool {
+		const n = 8
+		prio, err := perm.Unrank(n, int(permRank)%perm.Factorial(n))
+		if err != nil {
+			return false
+		}
+		pairCount := int(pairCountRaw)%(n/2) + 1
+		p := &Protocol{pairs: pairCount, prio: prio}
+		// Deterministic pair placement from pairSeed via the sampler.
+		rng := &fakeIntN{seed: pairSeed}
+		positions := samplePairPositions(rng, n, pairCount)
+		for i, c := range positions {
+			xiDown, xiUp := 1, 1
+			if coins&(1<<(2*i%8)) != 0 {
+				xiDown = -1
+			}
+			if coins&(1<<((2*i+1)%8)) != 0 {
+				xiUp = -1
+			}
+			p.active = append(p.active, pairState{
+				c:      c,
+				down:   prio.LinkAtPriority(c),
+				up:     prio.LinkAtPriority(c + 1),
+				xiDown: xiDown,
+				xiUp:   xiUp,
+			})
+		}
+		backoffs := p.computeBackoffs(n)
+		seen := map[int]bool{}
+		maxAllowed := n + 2*pairCount - 1
+		for _, b := range backoffs {
+			if b < 0 || b > maxAllowed || seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeIntN is a deterministic splitmix-style IntN source for property tests.
+type fakeIntN struct{ seed uint32 }
+
+func (f *fakeIntN) IntN(n int) int {
+	f.seed = f.seed*1664525 + 1013904223
+	return int(f.seed>>8) % n
+}
+
+func TestSamplePairPositionsNonAdjacent(t *testing.T) {
+	rng := &fakeIntN{seed: 7}
+	for trial := 0; trial < 500; trial++ {
+		positions := samplePairPositions(rng, 10, 3)
+		if len(positions) != 3 {
+			t.Fatalf("got %d positions", len(positions))
+		}
+		for i := range positions {
+			if positions[i] < 1 || positions[i] > 9 {
+				t.Fatalf("position %d out of range", positions[i])
+			}
+			if i > 0 && positions[i]-positions[i-1] < 2 {
+				t.Fatalf("adjacent pair positions %v", positions)
+			}
+		}
+	}
+}
+
+func TestClampMu(t *testing.T) {
+	if clampMu(-1) != minMu {
+		t.Error("negative µ not clamped up")
+	}
+	if clampMu(2) != 1-minMu {
+		t.Error("µ > 1 not clamped down")
+	}
+	if clampMu(0.5) != 0.5 {
+		t.Error("valid µ altered")
+	}
+}
+
+// muCapture is a do-nothing protocol that records a policy's µ for one link
+// at each interval start. Since it never transmits, the debt after k
+// intervals is exactly k·q_n, giving a known input to Eq. 14.
+type muCapture struct {
+	policy MuPolicy
+	link   int
+	out    *float64
+}
+
+func (m muCapture) Name() string                   { return "mu-capture" }
+func (m muCapture) BeginInterval(ctx *mac.Context) { *m.out = m.policy.Mu(ctx, m.link) }
+func (m muCapture) EndInterval(*mac.Context)       {}
+
+func TestDebtGlauberMatchesEquationFourteen(t *testing.T) {
+	g := PaperDebtGlauber()
+	for link, p := range []float64{0.7, 0.9} {
+		var got float64
+		av, _ := arrival.Uniform(2, arrival.Deterministic{N: 1})
+		nw, err := mac.NewNetwork(mac.NetworkConfig{
+			Seed:        37,
+			Profile:     fastProfile(),
+			SuccessProb: []float64{0.7, 0.9},
+			Arrivals:    av,
+			Required:    []float64{0.9, 0.8},
+			Protocol:    muCapture{policy: g, link: link, out: &got},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Run 6 intervals: the capture at interval k sees debt = k·q_n.
+		if err := nw.Run(6); err != nil {
+			t.Fatal(err)
+		}
+		// The last capture (interval 5) saw debt after 5 completed
+		// intervals: d = 5·q_link.
+		d := 5 * []float64{0.9, 0.8}[link]
+		w := g.F.Eval(d) * p
+		want := math.Exp(w) / (g.R + math.Exp(w))
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("link %d: µ = %v, want %v (Eq. 14 at d=%v)", link, got, want, d)
+		}
+	}
+}
+
+// TestDPMultiPairStationaryDistribution validates the Remark-6 extension
+// against theory: simultaneous swaps at non-adjacent positions still satisfy
+// detailed balance pair-by-pair, so the priority process keeps the
+// Proposition-2 product-form stationary law. (N = 5 with 2 pairs is the
+// smallest irreducible case: the valid position sets {1,3}, {1,4}, {2,4}
+// cover every adjacent transposition.)
+func TestDPMultiPairStationaryDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long empirical-distribution test")
+	}
+	const n = 5
+	mu := []float64{0.35, 0.45, 0.5, 0.55, 0.65}
+	prot, err := New(n, PerLinkMu{Values: mu}, WithPairs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := arrival.Uniform(n, arrival.Deterministic{N: 1})
+	profile := phy.Profile{Name: "t", Slot: 1, DataAirtime: 10, EmptyAirtime: 2, Interval: 80}
+	fx := newDPFixture(t, 47, uniformProbs(n, 1), av, []float64{1, 1, 1, 1, 1}, profile, prot)
+
+	counts := make([]float64, perm.Factorial(n))
+	const (
+		burnIn  = 5000
+		samples = 120000
+	)
+	if err := fx.nw.Run(burnIn); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < samples; i++ {
+		if err := fx.nw.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		counts[prot.Priorities().Rank()]++
+	}
+	for i := range counts {
+		counts[i] /= samples
+	}
+	want, err := perm.StationaryFromMu(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := perm.TotalVariation(counts, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > 0.06 {
+		t.Fatalf("multi-pair empirical vs Proposition-2 stationary TV distance %v", tv)
+	}
+}

@@ -1,0 +1,145 @@
+// Package core implements the paper's primary contribution: the fully
+// decentralized priority-based (DP) protocol of Algorithm 2 and its
+// debt-based instantiation DB-DP (Section V), which is feasibility-optimal.
+//
+// Every link holds a unique priority index σ_n(k) ∈ {1..N}. Backoff timers
+// are a deterministic function of priorities (Eq. 6), so transmissions are
+// collision-free. Each interval one (or, with the Remark 6 extension,
+// several non-adjacent) uniformly random adjacent priority pair may swap;
+// the swap is coordinated implicitly: each candidate tosses a local coin
+// ξ_n (Eq. 5), encodes the outcome in its backoff timer, and detects the
+// partner's intention purely by carrier sensing at the instant its own
+// timer reaches one (Eqs. 7–8).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rtmac/internal/debt"
+	"rtmac/internal/estimate"
+	"rtmac/internal/mac"
+)
+
+// MuPolicy chooses the per-interval coin bias µ_n(k) = P{ξ_n(k) = +1}, the
+// probability that link n competes to keep or gain priority.
+type MuPolicy interface {
+	Name() string
+	// Mu returns µ_n(k) for the interval described by ctx. Values are
+	// clamped into (0, 1) by the protocol.
+	Mu(ctx *mac.Context, link int) float64
+}
+
+// DebtGlauber is the paper's Eq. 14 bias:
+//
+//	µ_n(k) = exp(f(d_n⁺(k))·p_n) / (R + exp(f(d_n⁺(k))·p_n)),
+//
+// a Glauber-dynamics weight on the debt-scaled channel reliability. Plugging
+// it into the DP protocol yields the DB-DP algorithm.
+type DebtGlauber struct {
+	F debt.InfluenceFunc
+	R float64
+}
+
+// PaperDebtGlauber returns the exact parameters of the paper's evaluation:
+// f(x) = log(max{1, 100(x+1)}) and R = 10.
+func PaperDebtGlauber() DebtGlauber {
+	return DebtGlauber{F: debt.PaperLog(), R: 10}
+}
+
+// Name implements MuPolicy.
+func (g DebtGlauber) Name() string {
+	return fmt.Sprintf("glauber[%s,R=%g]", g.F.Name(), g.R)
+}
+
+// Mu implements MuPolicy.
+func (g DebtGlauber) Mu(ctx *mac.Context, link int) float64 {
+	w := ctx.Ledger.Weight(link, g.F, ctx.Med.SuccessProb(link))
+	e := math.Exp(w)
+	if math.IsInf(e, 1) {
+		return 1 // clamped into (0,1) by the protocol
+	}
+	return e / (g.R + e)
+}
+
+// OutcomeObserver is implemented by µ policies that learn from the
+// outcomes of their own data transmissions (the paper's "learning from the
+// empirical results of past transmissions" option for obtaining p_n). The
+// DP protocol reports every data outcome of link n to the policy; empty
+// frames and — impossible under DP anyway — collisions are not reported.
+type OutcomeObserver interface {
+	ObserveOutcome(link int, delivered bool)
+}
+
+// EstimatedDebtGlauber is the Eq. 14 bias computed with LEARNED channel
+// reliability: instead of the true p_n, each link uses the posterior mean
+// of a Beta-Bernoulli estimator fed by its own transmission outcomes. With
+// it, DB-DP needs no channel-state oracle at all.
+type EstimatedDebtGlauber struct {
+	F   debt.InfluenceFunc
+	R   float64
+	Est *estimate.LinkReliability
+}
+
+// NewEstimatedDebtGlauber builds the learning policy for n links with the
+// paper's evaluation parameters and a uniform reliability prior.
+func NewEstimatedDebtGlauber(n int) (*EstimatedDebtGlauber, error) {
+	est, err := estimate.NewLinkReliability(n, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &EstimatedDebtGlauber{F: debt.PaperLog(), R: 10, Est: est}, nil
+}
+
+// Name implements MuPolicy.
+func (g *EstimatedDebtGlauber) Name() string {
+	return fmt.Sprintf("glauber-learned[%s,R=%g]", g.F.Name(), g.R)
+}
+
+// Mu implements MuPolicy using the estimated reliability.
+func (g *EstimatedDebtGlauber) Mu(ctx *mac.Context, link int) float64 {
+	w := g.F.Eval(ctx.Ledger.PositiveDebt(link)) * g.Est.Estimate(link)
+	e := math.Exp(w)
+	if math.IsInf(e, 1) {
+		return 1
+	}
+	return e / (g.R + e)
+}
+
+// ObserveOutcome implements OutcomeObserver.
+func (g *EstimatedDebtGlauber) ObserveOutcome(link int, delivered bool) {
+	g.Est.Observe(link, delivered)
+}
+
+// ConstantMu uses the same fixed bias for every link and interval — the
+// generic DP protocol of Section IV with static parameters, whose priority
+// process has the product-form stationary distribution of Proposition 2.
+type ConstantMu struct {
+	Value float64
+}
+
+// Name implements MuPolicy.
+func (c ConstantMu) Name() string { return fmt.Sprintf("const(%g)", c.Value) }
+
+// Mu implements MuPolicy.
+func (c ConstantMu) Mu(*mac.Context, int) float64 { return c.Value }
+
+// PerLinkMu assigns each link its own fixed bias.
+type PerLinkMu struct {
+	Values []float64
+}
+
+// Name implements MuPolicy.
+func (p PerLinkMu) Name() string { return "perlink" }
+
+// Mu implements MuPolicy.
+func (p PerLinkMu) Mu(_ *mac.Context, link int) float64 { return p.Values[link] }
+
+// Interface compliance.
+var (
+	_ MuPolicy        = DebtGlauber{}
+	_ MuPolicy        = ConstantMu{}
+	_ MuPolicy        = PerLinkMu{}
+	_ MuPolicy        = (*EstimatedDebtGlauber)(nil)
+	_ OutcomeObserver = (*EstimatedDebtGlauber)(nil)
+)

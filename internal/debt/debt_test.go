@@ -1,0 +1,185 @@
+package debt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinInfluenceFunctionsSatisfyAxioms(t *testing.T) {
+	pow2, err := Power(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqrt, err := Power(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log10, err := Log(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []InfluenceFunc{Identity(), pow2, sqrt, log10, PaperLog(), LogLog()} {
+		t.Run(f.Name(), func(t *testing.T) {
+			if err := VerifyAxioms(f); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestVerifyAxiomsRejectsExponential(t *testing.T) {
+	// The paper: f(x) = a^x with a > 1 is NOT a debt influence function,
+	// because f(x+c)/f(x) = a^c does not converge to 1.
+	exp := InfluenceFunc{name: "exp", eval: func(x float64) float64 { return math.Exp(x / 1e4) }}
+	if err := VerifyAxioms(exp); err == nil {
+		t.Fatal("VerifyAxioms accepted an exponential function")
+	}
+}
+
+func TestVerifyAxiomsRejectsDecreasing(t *testing.T) {
+	dec := InfluenceFunc{name: "dec", eval: func(x float64) float64 { return 1 / (1 + x) }}
+	if err := VerifyAxioms(dec); err == nil {
+		t.Fatal("VerifyAxioms accepted a decreasing function")
+	}
+}
+
+func TestVerifyAxiomsRejectsBounded(t *testing.T) {
+	bounded := InfluenceFunc{name: "atan", eval: math.Atan}
+	if err := VerifyAxioms(bounded); err == nil {
+		t.Fatal("VerifyAxioms accepted a bounded function")
+	}
+}
+
+func TestInfluenceClampNegative(t *testing.T) {
+	f := Identity()
+	if got := f.Eval(-5); got != 0 {
+		t.Fatalf("Eval(-5) = %v, want 0 (d⁺ clamp)", got)
+	}
+}
+
+func TestPaperLogValues(t *testing.T) {
+	f := PaperLog()
+	// f(0) = log(100) ≈ 4.605
+	if got := f.Eval(0); math.Abs(got-math.Log(100)) > 1e-12 {
+		t.Errorf("PaperLog(0) = %v, want log(100)", got)
+	}
+	// f(9) = log(1000)
+	if got := f.Eval(9); math.Abs(got-math.Log(1000)) > 1e-12 {
+		t.Errorf("PaperLog(9) = %v, want log(1000)", got)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := Power(-1); err == nil {
+		t.Error("Power(-1) accepted")
+	}
+	if _, err := Log(0); err == nil {
+		t.Error("Log(0) accepted")
+	}
+	if _, err := NewLedger(nil); err == nil {
+		t.Error("empty ledger accepted")
+	}
+	if _, err := NewLedger([]float64{1, -0.5}); err == nil {
+		t.Error("negative requirement accepted")
+	}
+}
+
+func TestLedgerEvolution(t *testing.T) {
+	l, err := NewLedger([]float64{0.9, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Links() != 2 || l.Debt(0) != 0 || l.Debt(1) != 0 {
+		t.Fatal("fresh ledger not zeroed")
+	}
+	if err := l.EndInterval([]int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// d_0 = 0.9 - 1 = -0.1; d_1 = 0.5 - 0 = 0.5
+	if math.Abs(l.Debt(0)+0.1) > 1e-12 || math.Abs(l.Debt(1)-0.5) > 1e-12 {
+		t.Fatalf("debts = %v, want [-0.1, 0.5]", l.Snapshot())
+	}
+	if l.PositiveDebt(0) != 0 {
+		t.Fatalf("PositiveDebt(0) = %v, want 0", l.PositiveDebt(0))
+	}
+	if err := l.EndInterval([]int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Debt(0)-0.8) > 1e-12 || math.Abs(l.Debt(1)-1.0) > 1e-12 {
+		t.Fatalf("debts = %v, want [0.8, 1.0]", l.Snapshot())
+	}
+	if l.Intervals() != 2 || l.Delivered(0) != 1 || l.Delivered(1) != 0 {
+		t.Fatalf("counters wrong: k=%d delivered=[%d %d]",
+			l.Intervals(), l.Delivered(0), l.Delivered(1))
+	}
+}
+
+func TestLedgerRejectsBadService(t *testing.T) {
+	l, _ := NewLedger([]float64{1})
+	if err := l.EndInterval([]int{1, 2}); err == nil {
+		t.Error("wrong-length service vector accepted")
+	}
+	if err := l.EndInterval([]int{-1}); err == nil {
+		t.Error("negative service accepted")
+	}
+}
+
+func TestLedgerWeight(t *testing.T) {
+	l, _ := NewLedger([]float64{1})
+	l.EndInterval([]int{0}) // debt = 1
+	f := Identity()
+	if got := l.Weight(0, f, 0.7); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("Weight = %v, want 0.7", got)
+	}
+}
+
+// Property (Eq. 1 closed form): after k intervals, d_n(k) = k·q_n − Σ S_n.
+func TestLedgerClosedFormProperty(t *testing.T) {
+	prop := func(services []uint8, qRaw uint16) bool {
+		q := float64(qRaw%400) / 100 // q in [0, 4)
+		l, err := NewLedger([]float64{q})
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, s := range services {
+			sv := int(s % 7)
+			total += int64(sv)
+			if err := l.EndInterval([]int{sv}); err != nil {
+				return false
+			}
+		}
+		k := float64(len(services))
+		want := k*q - float64(total)
+		return math.Abs(l.Debt(0)-want) < 1e-6 &&
+			l.Delivered(0) == total &&
+			l.Intervals() == int64(len(services))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PositiveDebt is max{0, Debt} in every state.
+func TestPositiveDebtProperty(t *testing.T) {
+	prop := func(services []uint8) bool {
+		l, err := NewLedger([]float64{0.9})
+		if err != nil {
+			return false
+		}
+		for _, s := range services {
+			if err := l.EndInterval([]int{int(s % 3)}); err != nil {
+				return false
+			}
+			want := math.Max(0, l.Debt(0))
+			if l.PositiveDebt(0) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Package estimate provides online estimation of per-link channel
+// reliability from transmission outcomes. The paper assumes each
+// transmitter knows its p_n, remarking that it "can be obtained by either
+// probing or learning from the empirical results of past transmissions";
+// this package implements the learning option, so the DB-DP variant in
+// internal/core can run without any channel-state oracle.
+package estimate
+
+import (
+	"fmt"
+)
+
+// LinkReliability is a per-link Beta-Bernoulli estimator: each link's
+// delivery probability has a Beta(α₀, β₀) prior updated by observed
+// data-transmission outcomes; Estimate returns the posterior mean.
+//
+// Each link learns only from its own transmissions — exactly the
+// information a real transmitter's ACKs provide — so plugging the estimator
+// into a decentralized policy adds no coordination.
+type LinkReliability struct {
+	alpha0, beta0 float64
+	successes     []int64
+	failures      []int64
+}
+
+// NewLinkReliability creates estimators for n links with a Beta(alpha0,
+// beta0) prior. A (1, 1) prior is uniform; heavier priors damp early noise.
+func NewLinkReliability(n int, alpha0, beta0 float64) (*LinkReliability, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("estimate: need at least one link, got %d", n)
+	}
+	if alpha0 <= 0 || beta0 <= 0 {
+		return nil, fmt.Errorf("estimate: prior (%v, %v) must be positive", alpha0, beta0)
+	}
+	return &LinkReliability{
+		alpha0:    alpha0,
+		beta0:     beta0,
+		successes: make([]int64, n),
+		failures:  make([]int64, n),
+	}, nil
+}
+
+// Links returns the number of tracked links.
+func (e *LinkReliability) Links() int { return len(e.successes) }
+
+// Observe records one data-transmission outcome for link. Collisions should
+// not be fed in: they are interference, not channel loss (under the
+// collision-free DP protocol the distinction never arises).
+func (e *LinkReliability) Observe(link int, delivered bool) {
+	if delivered {
+		e.successes[link]++
+	} else {
+		e.failures[link]++
+	}
+}
+
+// Estimate returns the posterior-mean delivery probability of link.
+func (e *LinkReliability) Estimate(link int) float64 {
+	return (e.alpha0 + float64(e.successes[link])) /
+		(e.alpha0 + e.beta0 + float64(e.successes[link]+e.failures[link]))
+}
+
+// Samples returns how many outcomes link has contributed.
+func (e *LinkReliability) Samples(link int) int64 {
+	return e.successes[link] + e.failures[link]
+}

@@ -1,0 +1,72 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"rtmac/internal/sim"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := NewLinkReliability(0, 1, 1); err == nil {
+		t.Error("zero links accepted")
+	}
+	if _, err := NewLinkReliability(2, 0, 1); err == nil {
+		t.Error("zero alpha prior accepted")
+	}
+	if _, err := NewLinkReliability(2, 1, -1); err == nil {
+		t.Error("negative beta prior accepted")
+	}
+}
+
+func TestPriorMean(t *testing.T) {
+	e, err := NewLinkReliability(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Estimate(0); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("prior mean = %v, want 0.75", got)
+	}
+	if e.Samples(0) != 0 {
+		t.Fatal("fresh estimator has samples")
+	}
+}
+
+func TestPosteriorUpdates(t *testing.T) {
+	e, _ := NewLinkReliability(1, 1, 1)
+	e.Observe(0, true)
+	e.Observe(0, true)
+	e.Observe(0, false)
+	// Beta(1+2, 1+1) mean = 3/5.
+	if got := e.Estimate(0); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("posterior mean = %v, want 0.6", got)
+	}
+	if e.Samples(0) != 3 {
+		t.Fatalf("samples = %d", e.Samples(0))
+	}
+}
+
+func TestLinksAreIndependent(t *testing.T) {
+	e, _ := NewLinkReliability(2, 1, 1)
+	for i := 0; i < 50; i++ {
+		e.Observe(0, true)
+	}
+	if e.Samples(1) != 0 {
+		t.Fatal("link 1 contaminated by link 0 observations")
+	}
+	if got := e.Estimate(1); got != 0.5 {
+		t.Fatalf("untouched link estimate %v, want prior 0.5", got)
+	}
+}
+
+func TestConvergenceToTrueProbability(t *testing.T) {
+	e, _ := NewLinkReliability(1, 1, 1)
+	rng := sim.NewRNG(3)
+	const p = 0.7
+	for i := 0; i < 50000; i++ {
+		e.Observe(0, rng.Bernoulli(p))
+	}
+	if got := e.Estimate(0); math.Abs(got-p) > 0.01 {
+		t.Fatalf("estimate %v after 50k samples, want ≈ %v", got, p)
+	}
+}

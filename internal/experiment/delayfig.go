@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rtmac/internal/mac"
+	"rtmac/internal/metrics"
+)
+
+// ExtraDelay measures what the deficiency sweeps do not show: the delivery
+// LATENCY distribution. The paper's introduction motivates per-packet
+// deadlines with millisecond-scale control loops; this figure reports the
+// median and 99th-percentile delivery delay (as a fraction of the deadline)
+// for each policy across the video network's load sweep.
+func ExtraDelay() Figure { return delayFigure{} }
+
+type delayFigure struct{}
+
+func (delayFigure) ID() string { return "extra-delay" }
+
+func (delayFigure) Title() string {
+	return "Delivery-delay percentiles (fraction of deadline) vs load, video network"
+}
+
+func (delayFigure) Run(opts RunOptions) (*Result, error) {
+	opts = opts.fill()
+	xs := sweepRange(0.40, 0.60, 0.05)
+	specs := []protocolSpec{dbdpSpec(), ldfSpec(), fcsmaSpec()}
+	out := &Result{
+		ID:     "extra-delay",
+		Title:  delayFigure{}.Title(),
+		XLabel: "alpha*",
+		YLabel: "delay / deadline",
+	}
+	for _, spec := range specs {
+		p50 := Series{Label: spec.label + " p50"}
+		p99 := Series{Label: spec.label + " p99"}
+		for _, x := range xs {
+			sc, err := videoScenario(x, videoRho, opts.scaled(videoIntervals))
+			if err != nil {
+				return nil, fmt.Errorf("experiment extra-delay: %w", err)
+			}
+			prot, err := spec.build(len(sc.successProb))
+			if err != nil {
+				return nil, fmt.Errorf("experiment extra-delay: %w", err)
+			}
+			col, err := metrics.NewCollector(sc.required)
+			if err != nil {
+				return nil, err
+			}
+			nw, err := mac.NewNetwork(mac.NetworkConfig{
+				Seed:        opts.BaseSeed,
+				Profile:     sc.profile,
+				SuccessProb: sc.successProb,
+				Arrivals:    sc.arrivals,
+				Required:    sc.required,
+				Protocol:    prot,
+				Observers:   []mac.Observer{col},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiment extra-delay: %w", err)
+			}
+			delay, err := metrics.NewDelayStats(sc.profile.Interval, 200)
+			if err != nil {
+				return nil, err
+			}
+			delay.Attach(nw.Medium())
+			if err := nw.Run(sc.intervals); err != nil {
+				return nil, fmt.Errorf("experiment extra-delay: %w", err)
+			}
+			q50, err := delay.Quantile(0.5)
+			if err != nil {
+				return nil, err
+			}
+			q99, err := delay.Quantile(0.99)
+			if err != nil {
+				return nil, err
+			}
+			p50.X = append(p50.X, x)
+			p50.Y = append(p50.Y, float64(q50)/float64(sc.profile.Interval))
+			p99.X = append(p99.X, x)
+			p99.Y = append(p99.Y, float64(q99)/float64(sc.profile.Interval))
+		}
+		out.Series = append(out.Series, p50, p99)
+	}
+	return out, nil
+}

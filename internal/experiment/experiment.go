@@ -1,0 +1,355 @@
+// Package experiment defines the paper's evaluation scenarios (Section VI)
+// and a harness that regenerates every data figure: total timely-throughput
+// deficiency sweeps (Figs. 3, 4, 7, 8, 9, 10), the convergence comparison
+// (Fig. 5), and the fixed-priority throughput profile (Fig. 6).
+//
+// Absolute numbers come from this repository's simulator rather than the
+// authors' ns-3 build, so the comparison target is the *shape* of each
+// figure: who wins, by what rough factor, and where the knees fall.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rtmac/internal/arrival"
+	"rtmac/internal/core"
+	"rtmac/internal/mac"
+	"rtmac/internal/mac/dcf"
+	"rtmac/internal/mac/fcsma"
+	"rtmac/internal/mac/framecsma"
+	"rtmac/internal/mac/ldf"
+	"rtmac/internal/metrics"
+	"rtmac/internal/phy"
+	"rtmac/internal/stats"
+)
+
+// RunOptions tunes how much work a figure run performs. The zero value asks
+// for the paper's native fidelity.
+type RunOptions struct {
+	// Seeds is the number of independent replications averaged per point
+	// (default 3).
+	Seeds int
+	// IntervalScale scales each figure's native simulation length; 1 is the
+	// paper's horizon (5000 intervals for video figures, 20000 for control
+	// figures). Benchmarks and tests use smaller scales.
+	IntervalScale float64
+	// Workers bounds concurrent simulations (default: NumCPU).
+	Workers int
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+	// BaseSeed offsets every replication seed, for independent repetitions
+	// of whole figures.
+	BaseSeed uint64
+}
+
+func (o RunOptions) fill() RunOptions {
+	if o.Seeds <= 0 {
+		o.Seeds = 3
+	}
+	if o.IntervalScale <= 0 {
+		o.IntervalScale = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 0x5eed
+	}
+	return o
+}
+
+func (o RunOptions) scaled(native int) int {
+	n := int(float64(native) * o.IntervalScale)
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+	// Err, when non-nil, carries the standard error of each Y (multi-seed
+	// sweeps).
+	Err []float64
+}
+
+// Result is a regenerated figure.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Figure regenerates one of the paper's plots.
+type Figure interface {
+	// ID is the paper's figure number, e.g. "fig3".
+	ID() string
+	// Title describes the figure.
+	Title() string
+	// Run executes the sweep and returns the curves.
+	Run(opts RunOptions) (*Result, error)
+}
+
+// protocolSpec names one policy and knows how to build a fresh instance.
+type protocolSpec struct {
+	label string
+	build func(n int) (mac.Protocol, error)
+}
+
+func dbdpSpec() protocolSpec {
+	return protocolSpec{label: "DB-DP", build: func(n int) (mac.Protocol, error) {
+		return core.NewDBDP(n)
+	}}
+}
+
+func ldfSpec() protocolSpec {
+	return protocolSpec{label: "LDF", build: func(n int) (mac.Protocol, error) {
+		return ldf.NewLDF(), nil
+	}}
+}
+
+func fcsmaSpec() protocolSpec {
+	return protocolSpec{label: "FCSMA", build: func(n int) (mac.Protocol, error) {
+		return fcsma.New(fcsma.DefaultConfig())
+	}}
+}
+
+func dcfSpec() protocolSpec {
+	return protocolSpec{label: "DCF", build: func(n int) (mac.Protocol, error) {
+		return dcf.New(n, dcf.DefaultConfig())
+	}}
+}
+
+func framecsmaSpec() protocolSpec {
+	return protocolSpec{label: "Frame-CSMA", build: func(n int) (mac.Protocol, error) {
+		return framecsma.New(framecsma.DefaultConfig())
+	}}
+}
+
+// scenario is one fully specified network instance.
+type scenario struct {
+	profile     phy.Profile
+	successProb []float64
+	arrivals    arrival.VectorProcess
+	required    []float64
+	intervals   int
+	seriesEvery int
+}
+
+// runOne simulates a scenario under a protocol and returns the collector.
+func runOne(sc scenario, spec protocolSpec, seed uint64) (*metrics.Collector, mac.Protocol, error) {
+	prot, err := spec.build(len(sc.successProb))
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: building %s: %w", spec.label, err)
+	}
+	var opts []metrics.Option
+	if sc.seriesEvery > 0 {
+		opts = append(opts, metrics.WithSeries(sc.seriesEvery))
+	}
+	col, err := metrics.NewCollector(sc.required, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	nw, err := mac.NewNetwork(mac.NetworkConfig{
+		Seed:        seed,
+		Profile:     sc.profile,
+		SuccessProb: sc.successProb,
+		Arrivals:    sc.arrivals,
+		Required:    sc.required,
+		Protocol:    prot,
+		Observers:   []mac.Observer{col},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := nw.Run(sc.intervals); err != nil {
+		return nil, nil, err
+	}
+	return col, prot, nil
+}
+
+// job is one (sweep point, protocol, seed) simulation; reduce merges its
+// collector into the aggregate.
+type job struct {
+	key    string // "<x>/<protocol>"
+	x      float64
+	spec   protocolSpec
+	sc     scenario
+	seed   uint64
+	reduce func(col *metrics.Collector)
+}
+
+// runJobs executes jobs across a worker pool; reduce callbacks run under a
+// single mutex so they can write shared aggregates without further locking.
+func runJobs(jobs []job, opts RunOptions) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, opts.Workers)
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			col, _, err := runOne(j.sc, j.spec, j.seed)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			j.reduce(col)
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "done %s seed=%d deficiency=%.4f\n",
+					j.key, j.seed, col.TotalDeficiency())
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// deficiencySweep runs a standard deficiency-vs-x figure: for each x value
+// and protocol, average TotalDeficiency over opts.Seeds replications,
+// reporting the standard error of the mean alongside.
+func deficiencySweep(xs []float64, build func(x float64) (scenario, error),
+	specs []protocolSpec, opts RunOptions) ([]Series, error) {
+	aggregates := make(map[string]*stats.Accumulator)
+	var jobs []job
+	for _, x := range xs {
+		sc, err := build(x)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range specs {
+			key := fmt.Sprintf("%g/%s", x, spec.label)
+			a := &stats.Accumulator{}
+			aggregates[key] = a
+			for s := 0; s < opts.Seeds; s++ {
+				jobs = append(jobs, job{
+					key:  key,
+					x:    x,
+					spec: spec,
+					sc:   sc,
+					seed: opts.BaseSeed + uint64(s)*7919 + uint64(len(jobs)),
+					reduce: func(col *metrics.Collector) {
+						a.Add(col.TotalDeficiency())
+					},
+				})
+			}
+		}
+	}
+	if err := runJobs(jobs, opts); err != nil {
+		return nil, err
+	}
+	series := make([]Series, 0, len(specs))
+	for _, spec := range specs {
+		s := Series{Label: spec.label}
+		for _, x := range xs {
+			a := aggregates[fmt.Sprintf("%g/%s", x, spec.label)]
+			if a.Count() == 0 {
+				return nil, fmt.Errorf("experiment: no completed replications for %s at %g", spec.label, x)
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, a.Mean())
+			s.Err = append(s.Err, a.StdErr())
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// groupDeficiencySweep is deficiencySweep but splits the deficiency by link
+// group, producing one curve per (protocol, group).
+func groupDeficiencySweep(xs []float64, build func(x float64) (scenario, error),
+	specs []protocolSpec, groups map[string][]int, opts RunOptions) ([]Series, error) {
+	aggregates := make(map[string]map[string]*stats.Accumulator)
+	var jobs []job
+	for _, x := range xs {
+		sc, err := build(x)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range specs {
+			key := fmt.Sprintf("%g/%s", x, spec.label)
+			byGroup := make(map[string]*stats.Accumulator, len(groups))
+			for g := range groups {
+				byGroup[g] = &stats.Accumulator{}
+			}
+			aggregates[key] = byGroup
+			for s := 0; s < opts.Seeds; s++ {
+				jobs = append(jobs, job{
+					key:  key,
+					spec: spec,
+					sc:   sc,
+					seed: opts.BaseSeed + uint64(s)*7919 + uint64(len(jobs)),
+					reduce: func(col *metrics.Collector) {
+						for g, links := range groups {
+							byGroup[g].Add(col.GroupDeficiency(links))
+						}
+					},
+				})
+			}
+		}
+	}
+	if err := runJobs(jobs, opts); err != nil {
+		return nil, err
+	}
+	groupNames := make([]string, 0, len(groups))
+	for g := range groups {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+	var series []Series
+	for _, spec := range specs {
+		for _, g := range groupNames {
+			s := Series{Label: fmt.Sprintf("%s %s", spec.label, g)}
+			for _, x := range xs {
+				a := aggregates[fmt.Sprintf("%g/%s", x, spec.label)][g]
+				if a.Count() == 0 {
+					return nil, fmt.Errorf("experiment: no completed replications for %s at %g", spec.label, x)
+				}
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, a.Mean())
+				s.Err = append(s.Err, a.StdErr())
+			}
+			series = append(series, s)
+		}
+	}
+	return series, nil
+}
+
+// sweepRange returns lo, lo+step, ..., hi (inclusive within rounding),
+// with each value rounded to six decimals so accumulated float error never
+// leaks into labels or map keys.
+func sweepRange(lo, hi, step float64) []float64 {
+	var xs []float64
+	for x := lo; x <= hi+step/2; x += step {
+		xs = append(xs, math.Round(x*1e6)/1e6)
+	}
+	return xs
+}
+
+func uniformVec(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rtmac/internal/core"
+	"rtmac/internal/mac"
+	"rtmac/internal/phy"
+	"rtmac/internal/sim"
+	"rtmac/internal/stats"
+)
+
+// overheadFigure sweeps a timing parameter of the DP protocol's overhead
+// budget and reports DB-DP's deficiency at a fixed near-capacity load. Two
+// instances exist:
+//
+//   - extra-slottime: the backoff slot duration. The paper (§IV-C) quantifies
+//     the protocol's backoff overhead as at most N+1 slots per interval and
+//     points at WiFi-Nano's 800 ns slots as a way to shrink it further; this
+//     figure measures exactly that sensitivity.
+//   - extra-emptycost: the airtime of the empty priority-claiming frame,
+//     which the paper bounds at two per interval.
+type overheadFigure struct {
+	id, title, xlabel string
+	xs                []float64 // µs values of the swept parameter
+	apply             func(p *phy.Profile, x float64)
+}
+
+func (f *overheadFigure) ID() string    { return f.id }
+func (f *overheadFigure) Title() string { return f.title }
+
+func (f *overheadFigure) Run(opts RunOptions) (*Result, error) {
+	opts = opts.fill()
+	const alpha = 0.6 // near the video network's capacity knee
+	var series Series
+	series.Label = "DB-DP"
+	for _, x := range f.xs {
+		sc, err := videoScenario(alpha, videoRho, opts.scaled(videoIntervals))
+		if err != nil {
+			return nil, err
+		}
+		f.apply(&sc.profile, x)
+		if err := sc.profile.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", f.id, err)
+		}
+		var acc stats.Accumulator
+		for s := 0; s < opts.Seeds; s++ {
+			col, _, err := runOne(sc, dbdpSpec(), opts.BaseSeed+uint64(s)*7919)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", f.id, err)
+			}
+			acc.Add(col.TotalDeficiency())
+		}
+		series.X = append(series.X, x)
+		series.Y = append(series.Y, acc.Mean())
+		series.Err = append(series.Err, acc.StdErr())
+	}
+	return &Result{
+		ID:     f.id,
+		Title:  f.title,
+		XLabel: f.xlabel,
+		YLabel: "total timely-throughput deficiency",
+		Series: []Series{series},
+	}, nil
+}
+
+// ExtraSlotTime returns the backoff-slot sensitivity ablation.
+func ExtraSlotTime() Figure {
+	return &overheadFigure{
+		id:     "extra-slottime",
+		title:  "DB-DP overhead sensitivity: backoff slot duration (video, alpha*=0.6)",
+		xlabel: "backoff slot (us)",
+		// 1 µs ≈ WiFi-Nano territory, 9 µs = 802.11a, then progressively
+		// clumsier carrier sensing.
+		xs: []float64{1, 5, 9, 18, 36, 72},
+		apply: func(p *phy.Profile, x float64) {
+			p.Slot = sim.Time(x)
+		},
+	}
+}
+
+// ExtraEmptyCost returns the empty-frame airtime ablation.
+func ExtraEmptyCost() Figure {
+	return &overheadFigure{
+		id:     "extra-emptycost",
+		title:  "DB-DP overhead sensitivity: empty priority-claim frame airtime (video, alpha*=0.6)",
+		xlabel: "empty frame airtime (us)",
+		xs:     []float64{10, 70, 150, 330},
+		apply: func(p *phy.Profile, x float64) {
+			p.EmptyAirtime = sim.Time(x)
+		},
+	}
+}
+
+// ExtraSwapPairs compares the Remark-6 multi-pair extension's convergence:
+// windowed throughput of the initially lowest-priority link for 1, 3 and 6
+// swap pairs per interval.
+func ExtraSwapPairs() Figure { return swapPairsFigure{} }
+
+type swapPairsFigure struct{}
+
+func (swapPairsFigure) ID() string { return "extra-swappairs" }
+
+func (swapPairsFigure) Title() string {
+	return "Remark-6 extension: convergence of the lowest-priority link vs swap pairs per interval"
+}
+
+func (swapPairsFigure) Run(opts RunOptions) (*Result, error) {
+	opts = opts.fill()
+	const rho = 0.93
+	intervals := opts.scaled(videoIntervals)
+	seriesEvery := intervals / 25
+	if seriesEvery < 1 {
+		seriesEvery = 1
+	}
+	sc, err := videoScenario(0.55, rho, intervals)
+	if err != nil {
+		return nil, err
+	}
+	sc.seriesEvery = seriesEvery
+	watched := videoLinks - 1
+	out := &Result{
+		ID:     "extra-swappairs",
+		Title:  swapPairsFigure{}.Title(),
+		XLabel: "interval",
+		YLabel: fmt.Sprintf("windowed timely-throughput of link %d", watched),
+	}
+	for _, pairs := range []int{1, 3, 6} {
+		pairs := pairs
+		spec := protocolSpec{
+			label: fmt.Sprintf("%d pair(s)", pairs),
+			build: func(n int) (mac.Protocol, error) {
+				if pairs == 1 {
+					return core.NewDBDP(n)
+				}
+				return core.New(n, core.PaperDebtGlauber(), core.WithPairs(pairs))
+			},
+		}
+		col, _, err := runOne(sc, spec, opts.BaseSeed)
+		if err != nil {
+			return nil, fmt.Errorf("experiment extra-swappairs: %w", err)
+		}
+		s := Series{Label: spec.label}
+		for _, snap := range col.Series() {
+			s.X = append(s.X, float64(snap.Intervals))
+			s.Y = append(s.Y, snap.Windowed[watched])
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}

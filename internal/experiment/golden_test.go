@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden regenerates the checked-in golden outputs:
+//
+//	go test ./internal/experiment -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenFigures pins the exact CSV output of a tiny deterministic run of
+// every paper figure. Any change to the engine's event ordering, a
+// protocol's decisions, RNG stream derivation, or the figure definitions
+// shows up as a golden diff — an end-to-end determinism regression net over
+// the whole stack.
+func TestGoldenFigures(t *testing.T) {
+	opts := RunOptions{Seeds: 1, IntervalScale: 0.01, BaseSeed: 424242}
+	for _, fig := range All() {
+		fig := fig
+		t.Run(fig.ID(), func(t *testing.T) {
+			res, err := fig.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteCSV(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", fig.ID()+".csv")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("golden mismatch for %s.\nGot:\n%s\nWant:\n%s\n"+
+					"(intentional behaviour change? regenerate with -update)",
+					fig.ID(), buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rtmac/internal/core"
+	"rtmac/internal/mac"
+	"rtmac/internal/stats"
+)
+
+// ExtraLearning compares DB-DP with the known-p_n oracle against DB-DP that
+// LEARNS reliability online from its own ACKs (the paper's suggested
+// alternative to assuming p_n). Run on the asymmetric two-group network,
+// where wrong reliability estimates would misweight the two groups.
+func ExtraLearning() Figure { return learningFigure{} }
+
+type learningFigure struct{}
+
+func (learningFigure) ID() string { return "extra-learning" }
+
+func (learningFigure) Title() string {
+	return "DB-DP with known p_n vs online-learned reliability (asymmetric network, 90% ratio)"
+}
+
+func (learningFigure) Run(opts RunOptions) (*Result, error) {
+	opts = opts.fill()
+	xs := sweepRange(0.50, 0.75, 0.05)
+	specs := []protocolSpec{
+		dbdpSpec(),
+		{label: "DB-DP (learned p)", build: func(n int) (mac.Protocol, error) {
+			policy, err := core.NewEstimatedDebtGlauber(n)
+			if err != nil {
+				return nil, err
+			}
+			return core.New(n, policy)
+		}},
+		ldfSpec(),
+	}
+	out := &Result{
+		ID:     "extra-learning",
+		Title:  learningFigure{}.Title(),
+		XLabel: "alpha*",
+		YLabel: "total timely-throughput deficiency",
+	}
+	for _, spec := range specs {
+		s := Series{Label: spec.label}
+		for _, x := range xs {
+			sc, err := asymmetricScenario(x, videoRho, opts.scaled(videoIntervals))
+			if err != nil {
+				return nil, fmt.Errorf("experiment extra-learning: %w", err)
+			}
+			var acc stats.Accumulator
+			for seed := 0; seed < opts.Seeds; seed++ {
+				col, _, err := runOne(sc, spec, opts.BaseSeed+uint64(seed)*7919)
+				if err != nil {
+					return nil, fmt.Errorf("experiment extra-learning: %w", err)
+				}
+				acc.Add(col.TotalDeficiency())
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, acc.Mean())
+			s.Err = append(s.Err, acc.StdErr())
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteCSV emits a figure's curves as long-format CSV:
+// figure,series,x,y,yerr — one row per point. yerr is the standard error of
+// the mean across replications, or empty when the sweep ran a single seed.
+func WriteCSV(w io.Writer, r *Result) error {
+	if _, err := fmt.Fprintln(w, "figure,series,x,y,yerr"); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for i := range s.X {
+			errField := ""
+			if s.Err != nil {
+				errField = fmt.Sprintf("%g", s.Err[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%s\n",
+				r.ID, s.Label, s.X[i], s.Y[i], errField); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the figure as an aligned text table with one column per
+// series, the form the numbers are recorded in EXPERIMENTS.md.
+func WriteTable(w io.Writer, r *Result) error {
+	if len(r.Series) == 0 {
+		return fmt.Errorf("experiment: %s has no series", r.ID)
+	}
+	fmt.Fprintf(w, "%s — %s\n", r.ID, r.Title)
+	// Collect the union of x values in order.
+	xs := unionX(r.Series)
+	header := []string{r.XLabel}
+	for _, s := range r.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range r.Series {
+			if y, ok := lookup(s, x); ok {
+				row = append(row, fmt.Sprintf("%.4f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(fmt.Sprintf("%*s", widths[i], cell))
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteASCIIChart renders a coarse terminal plot of the figure, one glyph
+// per series, for a quick visual shape check.
+func WriteASCIIChart(w io.Writer, r *Result, width, height int) error {
+	if width < 16 {
+		width = 64
+	}
+	if height < 6 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range r.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("experiment: %s has no points", r.ID)
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	glyphs := []byte("*o+x#@%&")
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range r.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = g
+		}
+	}
+	fmt.Fprintf(w, "%s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(w, "y: %s (%.4f .. %.4f)\n", r.YLabel, minY, maxY)
+	for _, line := range grid {
+		fmt.Fprintf(w, "|%s\n", string(line))
+	}
+	fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "x: %s (%.3g .. %.3g)   ", r.XLabel, minX, maxX)
+	for si, s := range r.Series {
+		fmt.Fprintf(w, "[%c]=%s ", glyphs[si%len(glyphs)], s.Label)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func unionX(series []Series) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func trimFloat(x float64) string {
+	out := fmt.Sprintf("%.4f", x)
+	out = strings.TrimRight(out, "0")
+	return strings.TrimRight(out, ".")
+}

@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+)
+
+// svgPalette holds distinguishable line colors for up to eight series.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+	"#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// WriteSVG renders the figure as a self-contained SVG line chart with axes,
+// tick labels, optional error bars, and a legend — suitable for embedding in
+// reports or the HTML bundle written by WriteHTMLReport.
+func WriteSVG(w io.Writer, r *Result, width, height int) error {
+	if len(r.Series) == 0 {
+		return fmt.Errorf("experiment: %s has no series", r.ID)
+	}
+	if width < 200 {
+		width = 640
+	}
+	if height < 150 {
+		height = 400
+	}
+	const (
+		marginLeft   = 70
+		marginRight  = 20
+		marginTop    = 40
+		marginBottom = 60
+	)
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range r.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			y := s.Y[i]
+			if s.Err != nil {
+				y += s.Err[i]
+			}
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("experiment: %s has no points", r.ID)
+	}
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	maxY *= 1.05 // headroom
+
+	xPix := func(x float64) float64 {
+		return float64(marginLeft) + (x-minX)/(maxX-minX)*plotW
+	}
+	yPix := func(y float64) float64 {
+		return float64(marginTop) + plotH - (y-minY)/(maxY-minY)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n",
+		width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft, html.EscapeString(r.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%v" x2="%v" y2="%v" stroke="black"/>`+"\n",
+		marginLeft, yPix(minY), xPix(maxX), yPix(minY))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%v" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, yPix(minY))
+
+	// Ticks: five per axis.
+	for i := 0; i <= 5; i++ {
+		x := minX + (maxX-minX)*float64(i)/5
+		y := minY + (maxY-minY)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%v" y1="%v" x2="%v" y2="%v" stroke="black"/>`+"\n",
+			xPix(x), yPix(minY), xPix(x), yPix(minY)+5)
+		fmt.Fprintf(&b, `<text x="%v" y="%v" text-anchor="middle">%s</text>`+"\n",
+			xPix(x), yPix(minY)+20, trimFloat(x))
+		fmt.Fprintf(&b, `<line x1="%v" y1="%v" x2="%d" y2="%v" stroke="black"/>`+"\n",
+			float64(marginLeft)-5, yPix(y), marginLeft, yPix(y))
+		fmt.Fprintf(&b, `<text x="%v" y="%v" text-anchor="end">%s</text>`+"\n",
+			float64(marginLeft)-8, yPix(y)+4, trimFloat(y))
+		// Light gridline.
+		fmt.Fprintf(&b, `<line x1="%d" y1="%v" x2="%v" y2="%v" stroke="#dddddd"/>`+"\n",
+			marginLeft, yPix(y), xPix(maxX), yPix(y))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%v" y="%d" text-anchor="middle">%s</text>`+"\n",
+		float64(marginLeft)+plotW/2, height-12, html.EscapeString(r.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%v" text-anchor="middle" transform="rotate(-90 16 %v)">%s</text>`+"\n",
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, html.EscapeString(r.YLabel))
+
+	// Series.
+	for si, s := range r.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var path strings.Builder
+		for i := range s.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, xPix(s.X[i]), yPix(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				xPix(s.X[i]), yPix(s.Y[i]), color)
+			if s.Err != nil && s.Err[i] > 0 {
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n",
+					xPix(s.X[i]), yPix(s.Y[i]-s.Err[i]), xPix(s.X[i]), yPix(s.Y[i]+s.Err[i]), color)
+			}
+		}
+		// Legend entry.
+		ly := marginTop + 8 + 16*si
+		fmt.Fprintf(&b, `<line x1="%v" y1="%d" x2="%v" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			float64(marginLeft)+12, ly, float64(marginLeft)+36, ly, color)
+		fmt.Fprintf(&b, `<text x="%v" y="%d">%s</text>`+"\n",
+			float64(marginLeft)+42, ly+4, html.EscapeString(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteHTMLReport bundles multiple figure results into one self-contained
+// HTML page with inline SVG charts and data tables.
+func WriteHTMLReport(w io.Writer, results []*Result) error {
+	if len(results) == 0 {
+		return fmt.Errorf("experiment: no results to report")
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	b.WriteString("<title>rtmac figure report</title>\n")
+	b.WriteString("<style>body{font-family:sans-serif;max-width:900px;margin:2em auto;}" +
+		"table{border-collapse:collapse;margin:1em 0;}td,th{border:1px solid #ccc;padding:4px 10px;text-align:right;}" +
+		"th{background:#f2f2f2;}h2{margin-top:2em;border-bottom:1px solid #ddd;}</style>\n")
+	b.WriteString("</head><body>\n<h1>rtmac figure report</h1>\n")
+	b.WriteString("<p>Regenerated figures for “A Decentralized Medium Access Protocol for " +
+		"Real-Time Wireless Ad Hoc Networks With Unreliable Transmissions” (Hsieh &amp; Hou, ICDCS 2018).</p>\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "<h2 id=%q>%s</h2>\n", r.ID, html.EscapeString(r.Title))
+		if err := WriteSVG(&b, r, 860, 420); err != nil {
+			return err
+		}
+		// Data table.
+		b.WriteString("<table><tr><th>" + html.EscapeString(r.XLabel) + "</th>")
+		for _, s := range r.Series {
+			b.WriteString("<th>" + html.EscapeString(s.Label) + "</th>")
+		}
+		b.WriteString("</tr>\n")
+		for _, x := range unionX(r.Series) {
+			b.WriteString("<tr><td>" + trimFloat(x) + "</td>")
+			for _, s := range r.Series {
+				if y, ok := lookup(s, x); ok {
+					fmt.Fprintf(&b, "<td>%.4f</td>", y)
+				} else {
+					b.WriteString("<td>-</td>")
+				}
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,274 @@
+package feasibility
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rtmac/internal/arrival"
+	"rtmac/internal/mac"
+	"rtmac/internal/mac/fcsma"
+	"rtmac/internal/phy"
+)
+
+func fastProfile() phy.Profile {
+	return phy.Profile{Name: "test", Slot: 1, DataAirtime: 10, EmptyAirtime: 2, Interval: 100}
+}
+
+func problem(t *testing.T, n int, p float64, perLink int, q float64) Problem {
+	t.Helper()
+	av, err := arrival.Uniform(n, arrival.Deterministic{N: perLink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, n)
+	req := make([]float64, n)
+	for i := range probs {
+		probs[i] = p
+		req[i] = q
+	}
+	return Problem{Profile: fastProfile(), SuccessProb: probs, Arrivals: av, Required: req}
+}
+
+func TestValidate(t *testing.T) {
+	good := problem(t, 2, 0.8, 1, 0.9)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Required = []float64{1}
+	if bad.Validate() == nil {
+		t.Error("mismatched requirements accepted")
+	}
+	bad2 := good
+	bad2.SuccessProb = []float64{0.8, 0}
+	if bad2.Validate() == nil {
+		t.Error("zero probability accepted")
+	}
+	bad3 := good
+	bad3.Arrivals = nil
+	if bad3.Validate() == nil {
+		t.Error("nil arrivals accepted")
+	}
+}
+
+func TestNecessaryBounds(t *testing.T) {
+	// 10 slots per interval; 2 links, p=0.8, q=2 each ⇒ workload 5 ≤ 10: ok.
+	if err := NecessaryBounds(problem(t, 2, 0.8, 2, 2)); err != nil {
+		t.Fatalf("feasible bounds rejected: %v", err)
+	}
+	// q above arrival rate.
+	if err := NecessaryBounds(problem(t, 2, 0.8, 1, 1.5)); err == nil {
+		t.Fatal("q > λ accepted")
+	}
+	// Workload above slots: 2 links, p=0.5, q=3 ⇒ 12 > 10.
+	if err := NecessaryBounds(problem(t, 2, 0.5, 3, 3)); err == nil {
+		t.Fatal("overloaded workload accepted")
+	}
+}
+
+func TestTotalWorkload(t *testing.T) {
+	p := problem(t, 2, 0.5, 2, 1)
+	if got := TotalWorkload(p); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("TotalWorkload = %v, want 4", got)
+	}
+}
+
+func TestProbeFeasible(t *testing.T) {
+	res, err := Probe(problem(t, 2, 0.8, 2, 1.8), ProbeConfig{Seed: 1, Intervals: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("comfortably feasible problem probed infeasible (deficiency %v)", res.Deficiency)
+	}
+}
+
+func TestProbeInfeasible(t *testing.T) {
+	// Workload 2·6/1 = 12 > 10 slots.
+	res, err := Probe(problem(t, 2, 1, 6, 6), ProbeConfig{Seed: 1, Intervals: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("overloaded problem probed feasible")
+	}
+	if lb := MaxDeficiencyLowerBound(problem(t, 2, 1, 6, 6)); res.Deficiency < lb-0.3 {
+		t.Fatalf("deficiency %v far below analytic lower bound %v", res.Deficiency, lb)
+	}
+}
+
+func TestFrontierBracketsCapacity(t *testing.T) {
+	// Deterministic 1 packet/link, p = 1, 2 links, 10 slots: any q = γ·1 with
+	// γ ≤ 1 is trivially feasible (only 2 packets exist per interval) and
+	// γ > 1 violates q ≤ λ. The frontier must come out ≈ 1.
+	p := problem(t, 2, 1, 1, 1)
+	gamma, err := Frontier(p, ProbeConfig{Seed: 2, Intervals: 400}, 0.1, 2.0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma < 0.95 || gamma > 1.05 {
+		t.Fatalf("frontier γ = %v, want ≈ 1", gamma)
+	}
+}
+
+func TestFrontierValidation(t *testing.T) {
+	p := problem(t, 2, 1, 1, 1)
+	if _, err := Frontier(p, ProbeConfig{}, 2, 1, 5); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestExpectedServiceSlots(t *testing.T) {
+	// p = 1, 2 packets per link: subset {0} uses exactly 2 slots; subset
+	// {0,1} exactly 4.
+	p := problem(t, 2, 1, 2, 1)
+	one, err := ExpectedServiceSlots(p, []int{0}, 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one-2) > 1e-9 {
+		t.Fatalf("single-link service slots %v, want 2", one)
+	}
+	both, err := ExpectedServiceSlots(p, []int{0, 1}, 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(both-4) > 1e-9 {
+		t.Fatalf("two-link service slots %v, want 4", both)
+	}
+	// p = 0.5 doubles the expected cost: ≈ 4 slots for one link's 2 packets,
+	// truncated at 10.
+	lossy := problem(t, 2, 0.5, 2, 1)
+	est, err := ExpectedServiceSlots(lossy, []int{0}, 3, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 3.5 || est > 4.3 {
+		t.Fatalf("lossy service slots %v, want ≈ 4 (truncation keeps it near)", est)
+	}
+}
+
+func TestSubsetBoundViolationDetectsOverload(t *testing.T) {
+	// One link demands more than its own achievable service: q = 1 packet
+	// per interval at p = 0.1 needs 10 slots on average — exactly the whole
+	// interval — while truncation caps useful service strictly below 10.
+	av, _ := arrival.Uniform(2, arrival.Deterministic{N: 1})
+	p := Problem{
+		Profile:     fastProfile(),
+		SuccessProb: []float64{0.1, 0.9},
+		Arrivals:    av,
+		Required:    []float64{1, 0.5},
+	}
+	msg, err := SubsetBoundViolation(p, 5, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg == "" {
+		t.Fatal("no violation found for an overloaded subset")
+	}
+	if !strings.Contains(msg, "subset") {
+		t.Fatalf("unexpected message %q", msg)
+	}
+}
+
+func TestSubsetBoundNoViolationWhenLight(t *testing.T) {
+	msg, err := SubsetBoundViolation(problem(t, 3, 0.9, 1, 0.5), 5, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg != "" {
+		t.Fatalf("light load flagged: %s", msg)
+	}
+}
+
+func TestSubsetBoundRejectsHugeNetworks(t *testing.T) {
+	if _, err := SubsetBoundViolation(problem(t, 15, 0.9, 1, 0.5), 5, 10); err == nil {
+		t.Fatal("15-link exact scan accepted")
+	}
+}
+
+func TestMaxDeficiencyLowerBoundZeroWhenFeasible(t *testing.T) {
+	if lb := MaxDeficiencyLowerBound(problem(t, 2, 1, 1, 1)); lb != 0 {
+		t.Fatalf("lower bound %v for an underloaded instance", lb)
+	}
+}
+
+func TestProbeConfigDefaultsAndErrors(t *testing.T) {
+	// Zero-value config picks defaults (seed, horizon, tolerance).
+	res, err := Probe(problem(t, 2, 1, 1, 0.5), ProbeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intervals != 3000 {
+		t.Fatalf("default horizon = %d, want 3000", res.Intervals)
+	}
+	if !res.Feasible {
+		t.Fatal("trivial load probed infeasible with defaults")
+	}
+	// Invalid problems surface as errors from Probe and Frontier.
+	bad := problem(t, 2, 1, 1, 0.5)
+	bad.Required = []float64{1}
+	if _, err := Probe(bad, ProbeConfig{}); err == nil {
+		t.Fatal("invalid problem accepted by Probe")
+	}
+	if _, err := Frontier(bad, ProbeConfig{}, 0.1, 2, 3); err == nil {
+		t.Fatal("invalid problem accepted by Frontier")
+	}
+	if _, err := ExpectedServiceSlots(bad, []int{0}, 1, 10); err == nil {
+		t.Fatal("invalid problem accepted by ExpectedServiceSlots")
+	}
+	if _, err := SubsetBoundViolation(bad, 1, 10); err == nil {
+		t.Fatal("invalid problem accepted by SubsetBoundViolation")
+	}
+	if err := NecessaryBounds(bad); err == nil {
+		t.Fatal("invalid problem accepted by NecessaryBounds")
+	}
+}
+
+// TestFCSMAKneeRatio turns the paper's Figure-3 reading — "FCSMA supports
+// only about 70% of the maximum admissible α*" — into an executable check:
+// binary-search the capacity frontier of the video network once with the
+// feasibility-optimal LDF probe and once probing with FCSMA itself, and
+// compare the knees.
+func TestFCSMAKneeRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long frontier search")
+	}
+	const links = 20
+	proc, err := arrival.PaperVideo(1.0) // frontier scales q = 0.9·3.5·γ
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := arrival.Uniform(links, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, links)
+	req := make([]float64, links)
+	for i := range probs {
+		probs[i] = 0.7
+		req[i] = 0.9 * proc.Mean() // γ = 1 corresponds to α* = 1
+	}
+	p := Problem{Profile: phy.Video(), SuccessProb: probs, Arrivals: av, Required: req}
+
+	cfg := ProbeConfig{Seed: 9, Intervals: 1500, Tolerance: 0.05}
+	ldfKnee, err := Frontier(p, cfg, 0.1, 1.0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcsmaCfg := cfg
+	fcsmaCfg.Protocol = func(int) (mac.Protocol, error) { return fcsma.New(fcsma.DefaultConfig()) }
+	fcsmaKnee, err := Frontier(p, fcsmaCfg, 0.1, 1.0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := fcsmaKnee / ldfKnee
+	t.Logf("LDF knee α*=%.3f, FCSMA knee α*=%.3f, ratio %.2f", ldfKnee, fcsmaKnee, ratio)
+	if ldfKnee < 0.55 || ldfKnee > 0.70 {
+		t.Fatalf("LDF admissible α* = %.3f, paper reads ≈ 0.62", ldfKnee)
+	}
+	if ratio < 0.55 || ratio > 0.90 {
+		t.Fatalf("FCSMA/LDF knee ratio %.2f, paper reports ≈ 0.70", ratio)
+	}
+}

@@ -1,0 +1,224 @@
+package mac
+
+import (
+	"fmt"
+
+	"rtmac/internal/medium"
+	"rtmac/internal/sim"
+)
+
+// Contender receives the contention coordinator's callbacks for one link.
+type Contender struct {
+	// Fire is called when the link's backoff counter reaches zero. The link
+	// should start a transmission and return true; returning false means it
+	// declined (nothing to send, or nothing fits before the deadline), in
+	// which case the channel may remain idle at this boundary.
+	Fire func() (started bool)
+	// ReachedOne, if non-nil, is called at the instant the counter enters
+	// the value 1 — the carrier-sensing moment of Eqs. (7)/(8). busy
+	// reports whether some other link began transmitting at this same
+	// boundary (boundaries occur only after a full idle slot, so that is
+	// the only way the channel can be busy at one).
+	ReachedOne func(busy bool)
+}
+
+type contentionEntry struct {
+	counter   int
+	active    bool
+	contender Contender
+}
+
+// Contention coordinates slotted backoff countdown over a shared medium:
+// while the channel is idle, every registered counter decreases by one per
+// slot; while it is busy, all counters freeze. Counters reaching zero fire
+// (and, if several fire at the same boundary, their transmissions collide on
+// the medium). This models the discrete freeze-on-busy backoff of 802.11
+// with the coarse slot-boundary carrier sensing the paper assumes.
+//
+// A Contention subscribes to its medium once and lives as long as the
+// network; protocols Add entries each interval and Clear at interval end.
+//
+// Entries live in a link-indexed array (links are dense small integers), so
+// every boundary walks them in deterministic link order with no allocation.
+type Contention struct {
+	eng      *sim.Engine
+	med      *medium.Medium
+	slot     sim.Time
+	entries  []contentionEntry // indexed by link; active flag marks presence
+	active   int
+	boundary *sim.Timer
+	// scratch reused by processBoundary.
+	fired, sensed []int
+}
+
+// NewContention creates a coordinator for the given medium with the given
+// backoff slot duration and subscribes it to carrier-sense transitions.
+func NewContention(eng *sim.Engine, med *medium.Medium, slot sim.Time) (*Contention, error) {
+	if eng == nil || med == nil {
+		return nil, fmt.Errorf("mac: contention needs an engine and a medium")
+	}
+	if slot <= 0 {
+		return nil, fmt.Errorf("mac: non-positive slot %v", slot)
+	}
+	c := &Contention{
+		eng:     eng,
+		med:     med,
+		slot:    slot,
+		entries: make([]contentionEntry, med.Links()),
+		fired:   make([]int, 0, med.Links()),
+		sensed:  make([]int, 0, med.Links()),
+	}
+	med.Subscribe(c)
+	return c, nil
+}
+
+// Add registers a link with the given initial backoff counter.
+//
+// Counters are interpreted as "idle slots to wait before transmitting": a
+// counter of zero fires at the next settle point (immediately if the channel
+// is idle). A counter that is at one — whether it started there or got there
+// by decrement — triggers ReachedOne exactly once, at the instant it enters
+// that value.
+//
+// Add panics if the link is already registered; protocols must Remove or
+// Clear first.
+func (c *Contention) Add(link, counter int, contender Contender) {
+	if link < 0 || link >= len(c.entries) {
+		panic(fmt.Sprintf("mac: link %d outside [0, %d)", link, len(c.entries)))
+	}
+	if c.entries[link].active {
+		panic(fmt.Sprintf("mac: link %d already contending", link))
+	}
+	if counter < 0 {
+		panic(fmt.Sprintf("mac: negative backoff counter %d for link %d", counter, link))
+	}
+	if contender.Fire == nil {
+		panic(fmt.Sprintf("mac: link %d contender without Fire", link))
+	}
+	c.entries[link] = contentionEntry{counter: counter, active: true, contender: contender}
+	c.active++
+	c.arm()
+}
+
+// Settle processes entries that are already at zero or one at the current
+// instant (fires zeros, senses ones) and arms the slot clock. Protocols call
+// it once per interval after Add-ing the interval's full contender set, so
+// that initial zero counters fire simultaneously (and collide) rather than
+// in registration order.
+func (c *Contention) Settle() {
+	if c.med.Busy() {
+		return
+	}
+	c.processBoundary()
+}
+
+// Remove deregisters a link, cancelling its pending countdown.
+func (c *Contention) Remove(link int) {
+	if link < 0 || link >= len(c.entries) || !c.entries[link].active {
+		return
+	}
+	c.entries[link] = contentionEntry{}
+	c.active--
+	if c.active == 0 {
+		c.disarm()
+	}
+}
+
+// Clear removes every entry and cancels the slot clock. Networks call it at
+// interval end so no countdown leaks across the deadline.
+func (c *Contention) Clear() {
+	for i := range c.entries {
+		c.entries[i] = contentionEntry{}
+	}
+	c.active = 0
+	c.disarm()
+}
+
+// Active returns the number of currently contending links.
+func (c *Contention) Active() int { return c.active }
+
+// Counter returns the current backoff counter of a contending link, and
+// whether the link is contending at all.
+func (c *Contention) Counter(link int) (int, bool) {
+	if link < 0 || link >= len(c.entries) || !c.entries[link].active {
+		return 0, false
+	}
+	return c.entries[link].counter, true
+}
+
+// ChannelBusy implements medium.Listener: freeze the countdown.
+func (c *Contention) ChannelBusy(sim.Time) { c.disarm() }
+
+// ChannelIdle implements medium.Listener: resume the countdown.
+func (c *Contention) ChannelIdle(sim.Time) { c.arm() }
+
+func (c *Contention) arm() {
+	if c.boundary != nil || c.active == 0 || c.med.Busy() {
+		return
+	}
+	c.boundary = c.eng.After(c.slot, c.onBoundary)
+}
+
+func (c *Contention) disarm() {
+	if c.boundary != nil {
+		c.eng.Cancel(c.boundary)
+		c.boundary = nil
+	}
+}
+
+func (c *Contention) onBoundary() {
+	c.boundary = nil
+	for i := range c.entries {
+		// An entry that joined at counter zero while the channel was busy
+		// fires at the first post-idle boundary; it must not go negative.
+		if c.entries[i].active && c.entries[i].counter > 0 {
+			c.entries[i].counter--
+		}
+	}
+	c.processBoundary()
+}
+
+// processBoundary fires all entries at zero (simultaneously — overlapping
+// transmissions collide on the medium), then delivers the carrier-sensing
+// callbacks to entries at one, then re-arms the slot clock if the channel is
+// still idle. Links are walked in index order, keeping runs deterministic.
+func (c *Contention) processBoundary() {
+	c.fired = c.fired[:0]
+	c.sensed = c.sensed[:0]
+	for link := range c.entries {
+		if !c.entries[link].active {
+			continue
+		}
+		switch c.entries[link].counter {
+		case 0:
+			c.fired = append(c.fired, link)
+		case 1:
+			c.sensed = append(c.sensed, link)
+		}
+	}
+	started := 0
+	for _, link := range c.fired {
+		fire := c.entries[link].contender.Fire
+		c.entries[link] = contentionEntry{}
+		c.active--
+		if fire() {
+			started++
+		}
+	}
+	busy := started > 0
+	for _, link := range c.sensed {
+		// Entries at one are sensed exactly once: entering one again is
+		// impossible (counters only decrease), so mark by clearing the hook.
+		if hook := c.entries[link].contender.ReachedOne; hook != nil {
+			c.entries[link].contender.ReachedOne = nil
+			hook(busy)
+		}
+	}
+	if !busy {
+		c.arm()
+	}
+	// If busy, the medium's ChannelBusy already disarmed us and ChannelIdle
+	// will re-arm once the firing links release the channel.
+}
+
+var _ medium.Listener = (*Contention)(nil)

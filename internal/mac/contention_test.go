@@ -1,0 +1,304 @@
+package mac
+
+import (
+	"testing"
+
+	"rtmac/internal/medium"
+	"rtmac/internal/sim"
+)
+
+const testSlot = 9
+
+func newContentionFixture(t *testing.T, links int) (*sim.Engine, *medium.Medium, *Contention) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	p := make([]float64, links)
+	for i := range p {
+		p[i] = 1
+	}
+	med, err := medium.New(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := NewContention(eng, med, testSlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, med, cont
+}
+
+func TestContentionFiresInCounterOrder(t *testing.T) {
+	eng, med, cont := newContentionFixture(t, 4)
+	var fireTimes []sim.Time
+	var fireLinks []int
+	for link, counter := range []int{3, 1, 2, 0} {
+		link, counter := link, counter
+		cont.Add(link, counter, Contender{Fire: func() bool {
+			fireTimes = append(fireTimes, eng.Now())
+			fireLinks = append(fireLinks, link)
+			med.Start(link, 100, false, nil)
+			return true
+		}})
+	}
+	cont.Settle()
+	eng.Run()
+	wantLinks := []int{3, 1, 2, 0}
+	// Link 3 fires immediately at t=0; each subsequent link fires after its
+	// remaining countdown runs during idle periods that follow each 100 µs
+	// transmission.
+	wantTimes := []sim.Time{0, 100 + testSlot, 200 + 2*testSlot, 300 + 3*testSlot}
+	if len(fireLinks) != 4 {
+		t.Fatalf("fired %d links, want 4", len(fireLinks))
+	}
+	for i := range wantLinks {
+		if fireLinks[i] != wantLinks[i] || fireTimes[i] != wantTimes[i] {
+			t.Fatalf("firing sequence %v at %v, want %v at %v",
+				fireLinks, fireTimes, wantLinks, wantTimes)
+		}
+	}
+}
+
+func TestContentionFreezesWhileBusy(t *testing.T) {
+	eng, med, cont := newContentionFixture(t, 2)
+	var fireAt sim.Time = -1
+	cont.Add(0, 2, Contender{Fire: func() bool {
+		fireAt = eng.Now()
+		return false
+	}})
+	cont.Settle()
+	// An external transmission from t=5 to t=105 freezes the countdown after
+	// zero boundaries have elapsed (first boundary would be at 9).
+	eng.ScheduleAt(5, func() { med.Start(1, 100, false, nil) })
+	eng.Run()
+	// Countdown resumes at 105: boundaries at 114 (counter 1) and 123 (fire).
+	if fireAt != 123 {
+		t.Fatalf("fired at %v, want 123", fireAt)
+	}
+}
+
+func TestContentionSimultaneousZerosCollide(t *testing.T) {
+	eng, med, cont := newContentionFixture(t, 3)
+	outcomes := map[int]medium.Outcome{}
+	for link := 0; link < 2; link++ {
+		link := link
+		cont.Add(link, 2, Contender{Fire: func() bool {
+			med.Start(link, 50, false, func(o medium.Outcome) { outcomes[link] = o })
+			return true
+		}})
+	}
+	cont.Settle()
+	eng.Run()
+	if outcomes[0] != medium.Collided || outcomes[1] != medium.Collided {
+		t.Fatalf("outcomes = %v, want both collided", outcomes)
+	}
+}
+
+func TestContentionReachedOneSensesBusy(t *testing.T) {
+	// Link 0 fires at boundary 1; link 1's counter enters 1 at the same
+	// boundary and must sense busy.
+	eng, med, cont := newContentionFixture(t, 2)
+	var sensedBusy *bool
+	cont.Add(0, 1, Contender{Fire: func() bool {
+		med.Start(0, 50, false, nil)
+		return true
+	}})
+	cont.Add(1, 2, Contender{
+		Fire:       func() bool { return false },
+		ReachedOne: func(busy bool) { sensedBusy = &busy },
+	})
+	cont.Settle()
+	eng.Run()
+	if sensedBusy == nil {
+		t.Fatal("ReachedOne never called")
+	}
+	if !*sensedBusy {
+		t.Fatal("sensed idle, want busy (link 0 fired at the same boundary)")
+	}
+}
+
+func TestContentionReachedOneSensesIdle(t *testing.T) {
+	// Nobody fires when link 1's counter enters 1: it must sense idle.
+	eng, _, cont := newContentionFixture(t, 2)
+	var sensedBusy *bool
+	cont.Add(1, 2, Contender{
+		Fire:       func() bool { return false },
+		ReachedOne: func(busy bool) { sensedBusy = &busy },
+	})
+	cont.Settle()
+	eng.Run()
+	if sensedBusy == nil {
+		t.Fatal("ReachedOne never called")
+	}
+	if *sensedBusy {
+		t.Fatal("sensed busy, want idle")
+	}
+}
+
+func TestContentionDeclinedFireCountsAsIdle(t *testing.T) {
+	// A link that fires but declines to transmit leaves the channel idle:
+	// the sensing link at counter 1 must see idle.
+	eng, _, cont := newContentionFixture(t, 2)
+	var sensedBusy *bool
+	cont.Add(0, 1, Contender{Fire: func() bool { return false }})
+	cont.Add(1, 2, Contender{
+		Fire:       func() bool { return false },
+		ReachedOne: func(busy bool) { sensedBusy = &busy },
+	})
+	cont.Settle()
+	eng.Run()
+	if sensedBusy == nil || *sensedBusy {
+		t.Fatalf("sensedBusy = %v, want idle", sensedBusy)
+	}
+}
+
+func TestContentionSettleFiresInitialZeros(t *testing.T) {
+	eng, med, cont := newContentionFixture(t, 2)
+	var fireAt sim.Time = -1
+	cont.Add(0, 0, Contender{Fire: func() bool {
+		fireAt = eng.Now()
+		med.Start(0, 30, false, nil)
+		return true
+	}})
+	cont.Settle()
+	eng.Run()
+	if fireAt != 0 {
+		t.Fatalf("counter-0 entry fired at %v, want immediately at 0", fireAt)
+	}
+}
+
+func TestContentionSettleSensesInitialOnes(t *testing.T) {
+	// A counter starting at 1 senses at Settle time: busy iff some counter-0
+	// entry starts transmitting at that same instant (the C(k)=1 corner of
+	// the DP protocol).
+	eng, med, cont := newContentionFixture(t, 2)
+	var sensedBusy *bool
+	cont.Add(0, 0, Contender{Fire: func() bool {
+		med.Start(0, 30, false, nil)
+		return true
+	}})
+	cont.Add(1, 1, Contender{
+		Fire:       func() bool { return false },
+		ReachedOne: func(busy bool) { sensedBusy = &busy },
+	})
+	cont.Settle()
+	eng.Run()
+	if sensedBusy == nil {
+		t.Fatal("ReachedOne never called")
+	}
+	if !*sensedBusy {
+		t.Fatal("sensed idle at settle, want busy")
+	}
+}
+
+func TestContentionReachedOneFiresOnce(t *testing.T) {
+	eng, med, cont := newContentionFixture(t, 3)
+	calls := 0
+	// Busy period between entering 1 and firing must not re-trigger sensing.
+	cont.Add(0, 2, Contender{
+		Fire:       func() bool { return false },
+		ReachedOne: func(bool) { calls++ },
+	})
+	cont.Settle()
+	eng.ScheduleAt(10, func() { med.Start(1, 40, false, nil) })
+	eng.Run()
+	if calls != 1 {
+		t.Fatalf("ReachedOne called %d times, want 1", calls)
+	}
+}
+
+func TestContentionClearCancelsCountdown(t *testing.T) {
+	eng, _, cont := newContentionFixture(t, 2)
+	fired := false
+	cont.Add(0, 3, Contender{Fire: func() bool { fired = true; return false }})
+	cont.Settle()
+	cont.Clear()
+	eng.Run()
+	if fired {
+		t.Fatal("cleared entry fired")
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("%d events pending after Clear", eng.Pending())
+	}
+	if cont.Active() != 0 {
+		t.Fatalf("Active = %d after Clear", cont.Active())
+	}
+}
+
+func TestContentionRemove(t *testing.T) {
+	eng, _, cont := newContentionFixture(t, 2)
+	fired := map[int]bool{}
+	for link := 0; link < 2; link++ {
+		link := link
+		cont.Add(link, 2, Contender{Fire: func() bool { fired[link] = true; return false }})
+	}
+	cont.Settle()
+	cont.Remove(0)
+	eng.Run()
+	if fired[0] {
+		t.Fatal("removed entry fired")
+	}
+	if !fired[1] {
+		t.Fatal("remaining entry did not fire")
+	}
+}
+
+func TestContentionCounterQuery(t *testing.T) {
+	eng, _, cont := newContentionFixture(t, 2)
+	cont.Add(0, 5, Contender{Fire: func() bool { return false }})
+	if c, ok := cont.Counter(0); !ok || c != 5 {
+		t.Fatalf("Counter(0) = %d, %v; want 5, true", c, ok)
+	}
+	if _, ok := cont.Counter(1); ok {
+		t.Fatal("Counter(1) reported a non-contending link")
+	}
+	cont.Settle()
+	eng.RunUntil(2 * testSlot)
+	if c, ok := cont.Counter(0); !ok || c != 3 {
+		t.Fatalf("Counter(0) after 2 slots = %d, %v; want 3, true", c, ok)
+	}
+}
+
+func TestContentionAddPanics(t *testing.T) {
+	_, _, cont := newContentionFixture(t, 2)
+	cont.Add(0, 1, Contender{Fire: func() bool { return false }})
+	for name, fn := range map[string]func(){
+		"duplicate link":   func() { cont.Add(0, 2, Contender{Fire: func() bool { return false }}) },
+		"negative counter": func() { cont.Add(1, -1, Contender{Fire: func() bool { return false }}) },
+		"nil fire":         func() { cont.Add(1, 1, Contender{}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestContentionValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	med, _ := medium.New(eng, []float64{1})
+	if _, err := NewContention(nil, med, 9); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewContention(eng, nil, 9); err == nil {
+		t.Error("nil medium accepted")
+	}
+	if _, err := NewContention(eng, med, 0); err == nil {
+		t.Error("zero slot accepted")
+	}
+}
+
+func TestContentionZeroCounterAddedDuringBusyDefersOneSlot(t *testing.T) {
+	eng, med, cont := newContentionFixture(t, 2)
+	var fireAt sim.Time = -1
+	med.Start(1, 100, false, nil)
+	cont.Add(0, 0, Contender{Fire: func() bool { fireAt = eng.Now(); return false }})
+	cont.Settle() // busy: no effect
+	eng.Run()
+	if fireAt != 100+testSlot {
+		t.Fatalf("fired at %v, want %v (one slot after idle)", fireAt, sim.Time(100+testSlot))
+	}
+}

@@ -1,0 +1,152 @@
+// Package mac provides the shared machinery every MAC protocol in this
+// repository builds on: the per-interval execution context, the slotted
+// contention coordinator that models freeze-on-busy backoff countdown with
+// carrier sensing, and the network runner that drives a protocol through the
+// interval structure of Section II-B.
+package mac
+
+import (
+	"rtmac/internal/debt"
+	"rtmac/internal/medium"
+	"rtmac/internal/phy"
+	"rtmac/internal/sim"
+)
+
+// Context exposes one interval's state to a protocol. All packets arriving
+// at the beginning of interval k share the deadline at the interval's end;
+// whatever is still pending at End is flushed (Step 7 of Algorithm 2).
+type Context struct {
+	Eng     *sim.Engine
+	Med     *medium.Medium
+	Profile phy.Profile
+	Ledger  *debt.Ledger
+	cont    *Contention
+
+	// K is the interval index, Start/End its boundaries.
+	K          int64
+	Start, End sim.Time
+
+	arrivals []int
+	pending  []int
+	served   []int
+	empty    []bool // link has a priority-claiming empty frame queued
+}
+
+func newContext(eng *sim.Engine, med *medium.Medium, profile phy.Profile, ledger *debt.Ledger) *Context {
+	n := med.Links()
+	return &Context{
+		Eng:      eng,
+		Med:      med,
+		Profile:  profile,
+		Ledger:   ledger,
+		arrivals: make([]int, n),
+		pending:  make([]int, n),
+		served:   make([]int, n),
+		empty:    make([]bool, n),
+	}
+}
+
+func (c *Context) beginInterval(k int64, start, end sim.Time, arrivals []int) {
+	c.K = k
+	c.Start, c.End = start, end
+	copy(c.arrivals, arrivals)
+	copy(c.pending, arrivals)
+	for n := range c.served {
+		c.served[n] = 0
+		c.empty[n] = false
+	}
+}
+
+// Links returns N.
+func (c *Context) Links() int { return len(c.pending) }
+
+// Contention returns the network's slotted-backoff coordinator. Entries a
+// protocol adds are cleared automatically at every interval end.
+func (c *Context) Contention() *Contention { return c.cont }
+
+// Arrivals returns A_n(k) for link n.
+func (c *Context) Arrivals(n int) int { return c.arrivals[n] }
+
+// Pending returns the number of undelivered packets link n still buffers.
+func (c *Context) Pending(n int) int { return c.pending[n] }
+
+// Served returns S_n(k) so far in this interval.
+func (c *Context) Served(n int) int { return c.served[n] }
+
+// ServedVector returns a copy of the S(k) vector.
+func (c *Context) ServedVector() []int {
+	out := make([]int, len(c.served))
+	copy(out, c.served)
+	return out
+}
+
+// Remaining returns the time left before the interval deadline.
+func (c *Context) Remaining() sim.Time {
+	if r := c.End - c.Eng.Now(); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// FitsData reports whether a full data exchange still fits in the interval.
+func (c *Context) FitsData() bool { return c.Remaining() >= c.Profile.DataAirtime }
+
+// FitsEmpty reports whether an empty priority-claiming frame still fits.
+func (c *Context) FitsEmpty() bool { return c.Remaining() >= c.Profile.EmptyAirtime }
+
+// QueueEmptyFrame gives link n an empty packet to transmit (Step 2 of
+// Algorithm 2: a swap candidate with no arrivals claims its priority).
+func (c *Context) QueueEmptyFrame(n int) { c.empty[n] = true }
+
+// HasEmptyFrame reports whether link n has an empty frame queued.
+func (c *Context) HasEmptyFrame(n int) bool { return c.empty[n] }
+
+// HasTraffic reports whether link n has anything to put on the air.
+func (c *Context) HasTraffic(n int) bool { return c.pending[n] > 0 || c.empty[n] }
+
+// TransmitData starts one data-packet exchange on link n. It returns false
+// without transmitting when the link has no pending packet or the exchange
+// would overrun the deadline (Remark 4). onDone receives whether the packet
+// was delivered; bookkeeping (pending/served) is applied before onDone runs.
+func (c *Context) TransmitData(n int, onDone func(delivered bool)) bool {
+	if c.pending[n] <= 0 || !c.FitsData() {
+		return false
+	}
+	c.Med.Start(n, c.Profile.DataAirtime, false, func(o medium.Outcome) {
+		delivered := o == medium.Delivered
+		if delivered {
+			c.pending[n]--
+			c.served[n]++
+		}
+		if onDone != nil {
+			onDone(delivered)
+		}
+	})
+	return true
+}
+
+// TransmitEmpty starts an empty priority-claiming frame on link n, if one is
+// queued and fits. Empty frames are sent at most once: transmitting consumes
+// the queued frame regardless of collision (the claim is in the airtime, not
+// the payload).
+func (c *Context) TransmitEmpty(n int, onDone func()) bool {
+	if !c.empty[n] || !c.FitsEmpty() {
+		return false
+	}
+	c.empty[n] = false
+	c.Med.Start(n, c.Profile.EmptyAirtime, true, func(medium.Outcome) {
+		if onDone != nil {
+			onDone()
+		}
+	})
+	return true
+}
+
+// ForceEmptyFrame queues and immediately transmits an empty frame for link n
+// even if none was queued — the time-squeeze fallback a swap candidate uses
+// when its data packet no longer fits but its priority claim must still be
+// heard (see the package comment in dp for why this keeps σ consistent).
+func (c *Context) ForceEmptyFrame(n int, onDone func()) bool {
+	c.empty[n] = true
+	return c.TransmitEmpty(n, onDone)
+}

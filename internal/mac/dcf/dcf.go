@@ -1,0 +1,107 @@
+// Package dcf implements an 802.11-style Distributed Coordination Function
+// baseline: per-packet CSMA/CA with binary exponential backoff. It is not
+// one of the paper's plotted baselines, but the paper's introduction leans
+// on Bianchi's analysis of exactly this scheme — collision probability grows
+// with network size and the resulting capacity loss is significant even at
+// ten links — to motivate the collision-free design of the DP protocol.
+// This package makes that comparison runnable as an ablation.
+package dcf
+
+import (
+	"fmt"
+
+	"rtmac/internal/mac"
+)
+
+// Config sets the backoff window evolution.
+type Config struct {
+	// CWMin is the initial contention window (802.11a: 16).
+	CWMin int
+	// CWMax caps the window after repeated failures (802.11a: 1024).
+	CWMax int
+}
+
+// DefaultConfig returns the 802.11a values.
+func DefaultConfig() Config { return Config{CWMin: 16, CWMax: 1024} }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.CWMin < 1 {
+		return fmt.Errorf("dcf: CWMin %d must be at least 1", c.CWMin)
+	}
+	if c.CWMax < c.CWMin {
+		return fmt.Errorf("dcf: CWMax %d below CWMin %d", c.CWMax, c.CWMin)
+	}
+	return nil
+}
+
+// Protocol is the DCF policy. Contention-window state persists across
+// intervals, as a real station's would.
+type Protocol struct {
+	cfg Config
+	cw  []int // current window per link
+}
+
+// New validates cfg and returns a DCF instance for n links.
+func New(n int, cfg Config) (*Protocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("dcf: need at least 1 link, got %d", n)
+	}
+	p := &Protocol{cfg: cfg, cw: make([]int, n)}
+	for i := range p.cw {
+		p.cw[i] = cfg.CWMin
+	}
+	return p, nil
+}
+
+// Name implements mac.Protocol.
+func (p *Protocol) Name() string { return "dcf" }
+
+// BeginInterval implements mac.Protocol: every backlogged link joins the
+// slotted contention with a fresh uniform draw from its current window.
+func (p *Protocol) BeginInterval(ctx *mac.Context) {
+	for link := 0; link < ctx.Links(); link++ {
+		if ctx.Pending(link) > 0 {
+			p.enter(ctx, link)
+		}
+	}
+	ctx.Contention().Settle()
+}
+
+// EndInterval implements mac.Protocol. Residual backoff counters are
+// discarded with the interval's flushed packets (the network clears the
+// coordinator); the exponential window state survives.
+func (p *Protocol) EndInterval(*mac.Context) {}
+
+// enter registers link with a fresh draw from [0, cw).
+func (p *Protocol) enter(ctx *mac.Context, link int) {
+	draw := ctx.Eng.RNG("dcf").IntN(p.cw[link])
+	ctx.Contention().Add(link, draw, mac.Contender{Fire: func() bool {
+		return p.fire(ctx, link)
+	}})
+}
+
+// fire transmits one packet; the outcome drives the window (double on
+// failure — a station cannot distinguish collision from channel loss, both
+// are a missing ACK — reset on success), and the link re-enters contention
+// while it remains backlogged.
+func (p *Protocol) fire(ctx *mac.Context, link int) bool {
+	return ctx.TransmitData(link, func(delivered bool) {
+		if delivered {
+			p.cw[link] = p.cfg.CWMin
+		} else if p.cw[link]*2 <= p.cfg.CWMax {
+			p.cw[link] *= 2
+		}
+		if ctx.Pending(link) > 0 && ctx.FitsData() {
+			p.enter(ctx, link)
+		}
+	})
+}
+
+// Window returns link's current contention window, for tests and reports.
+func (p *Protocol) Window(link int) int { return p.cw[link] }
+
+var _ mac.Protocol = (*Protocol)(nil)

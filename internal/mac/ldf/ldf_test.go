@@ -1,0 +1,184 @@
+package ldf
+
+import (
+	"testing"
+
+	"rtmac/internal/arrival"
+	"rtmac/internal/debt"
+	"rtmac/internal/mac"
+	"rtmac/internal/metrics"
+	"rtmac/internal/phy"
+)
+
+func fastProfile() phy.Profile {
+	return phy.Profile{Name: "test", Slot: 1, DataAirtime: 10, EmptyAirtime: 2, Interval: 100}
+}
+
+func runLDF(t *testing.T, seed uint64, p []float64, av arrival.VectorProcess,
+	q []float64, intervals int, sched *Scheduler) (*mac.Network, *metrics.Collector) {
+	t.Helper()
+	col, err := metrics.NewCollector(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := mac.NewNetwork(mac.NetworkConfig{
+		Seed:        seed,
+		Profile:     fastProfile(),
+		SuccessProb: p,
+		Arrivals:    av,
+		Required:    q,
+		Protocol:    sched,
+		Observers:   []mac.Observer{col},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(intervals); err != nil {
+		t.Fatal(err)
+	}
+	return nw, col
+}
+
+func TestLDFName(t *testing.T) {
+	if got := NewLDF().Name(); got != "ldf" {
+		t.Fatalf("Name = %q, want ldf", got)
+	}
+	if got := New(debt.PaperLog()).Name(); got != "eldf[log(100)]" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestLDFZeroContentionOverhead(t *testing.T) {
+	// The centralized policy must squeeze exactly interval/airtime
+	// transmissions out of a saturated reliable network.
+	av, _ := arrival.Uniform(2, arrival.Deterministic{N: 10})
+	nw, col := runLDF(t, 1, []float64{1, 1}, av, []float64{5, 5}, 20, NewLDF())
+	st := nw.Medium().Stats()
+	if st.Transmissions != 20*10 {
+		t.Fatalf("transmissions = %d, want 200 (10 per interval)", st.Transmissions)
+	}
+	if st.Collisions != 0 {
+		t.Fatalf("centralized policy collided %d times", st.Collisions)
+	}
+	if st.BusyTime != 20*100 {
+		t.Fatalf("busy time = %v, want fully busy", st.BusyTime)
+	}
+	if got := col.Throughput(0) + col.Throughput(1); got != 10 {
+		t.Fatalf("total throughput %v, want 10 per interval", got)
+	}
+}
+
+func TestLDFFulfillsFeasibleLoad(t *testing.T) {
+	// Two links, p = 0.8, 2 packets each per interval, 10 attempts per
+	// interval. Expected workload 2·2/0.8 = 5 attempts ≪ 10: q = 0.95·λ is
+	// comfortably feasible, so the deficiency must vanish.
+	av, _ := arrival.Uniform(2, arrival.Deterministic{N: 2})
+	_, col := runLDF(t, 2, []float64{0.8, 0.8}, av, []float64{1.9, 1.9}, 2000, NewLDF())
+	if d := col.TotalDeficiency(); d > 0.01 {
+		t.Fatalf("feasible load left deficiency %v", d)
+	}
+}
+
+func TestLDFInfeasibleLoadLeavesDeficiency(t *testing.T) {
+	// Demand 2 links × 6 packets with only 10 slots and p = 1: at most 10
+	// deliveries per interval against q summing to 12.
+	av, _ := arrival.Uniform(2, arrival.Deterministic{N: 6})
+	_, col := runLDF(t, 3, []float64{1, 1}, av, []float64{6, 6}, 500, NewLDF())
+	if d := col.TotalDeficiency(); d < 1.8 {
+		t.Fatalf("infeasible load deficiency %v, want ≈ 2", d)
+	}
+}
+
+func TestLDFServesLargestDebtFirst(t *testing.T) {
+	// Link 1 has a requirement but never gets service capacity taken away;
+	// track that after an interval where debts differ, the higher-debt link
+	// is served first (its packets go out even when time runs short).
+	av, err := arrival.NewIndependent(arrival.Deterministic{N: 6}, arrival.Deterministic{N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 10 fit per interval; q strongly favors link 1.
+	_, col := runLDF(t, 4, []float64{1, 1}, av, []float64{1, 6}, 300, NewLDF())
+	// Link 1 must get essentially all it needs; link 0 absorbs the shortfall.
+	if col.Deficiency(1) > 0.05 {
+		t.Fatalf("high-requirement link deficiency %v", col.Deficiency(1))
+	}
+	if col.Throughput(0) < 3.5 {
+		t.Fatalf("low-requirement link throughput %v, want ≥ 3.5 (leftover capacity)", col.Throughput(0))
+	}
+}
+
+func TestELDFOrderMatchesWeights(t *testing.T) {
+	// After one interval in which link 0 is served fully and link 1 not at
+	// all, link 1 must outrank link 0 in the next interval's order.
+	sched := NewLDF()
+	av, err := arrival.NewIndependent(arrival.Deterministic{N: 10}, arrival.Deterministic{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := metrics.NewCollector([]float64{5, 5})
+	nw, err := mac.NewNetwork(mac.NetworkConfig{
+		Seed:        5,
+		Profile:     fastProfile(),
+		SuccessProb: []float64{1, 1},
+		Arrivals:    av,
+		Required:    []float64{5, 5},
+		Protocol:    sched,
+		Observers:   []mac.Observer{col},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// Interval 0: equal (zero) debts, tie-break serves link 0 first: all 10
+	// slots go to link 0. Debts: link0 = 5-10 = -5, link1 = +5.
+	if nw.Ledger().Debt(0) != -5 || nw.Ledger().Debt(1) != 5 {
+		t.Fatalf("debts after interval 0: %v, %v", nw.Ledger().Debt(0), nw.Ledger().Debt(1))
+	}
+	if err := nw.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	order := sched.Order()
+	if order[0] != 1 {
+		t.Fatalf("interval 1 order %v, want link 1 first", order)
+	}
+}
+
+func TestELDFUsesChannelReliabilityInWeights(t *testing.T) {
+	// Equal positive debts but p_0 < p_1: Algorithm 1 sorts by f(d⁺)·p, so
+	// link 1 must be served first.
+	sched := NewLDF()
+	av, _ := arrival.Uniform(2, arrival.Deterministic{N: 10})
+	col, _ := metrics.NewCollector([]float64{5, 5})
+	nw, err := mac.NewNetwork(mac.NetworkConfig{
+		Seed:        6,
+		Profile:     fastProfile(),
+		SuccessProb: []float64{0.5, 0.9},
+		Arrivals:    av,
+		Required:    []float64{5, 5},
+		Protocol:    sched,
+		Observers:   []mac.Observer{col},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture the weights as they stand at the START of interval 1, then run
+	// that interval and inspect the order the scheduler chose for it.
+	if err := nw.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	w0 := nw.Ledger().Weight(0, debt.Identity(), 0.5)
+	w1 := nw.Ledger().Weight(1, debt.Identity(), 0.9)
+	if err := nw.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	order := sched.Order()
+	if w1 > w0 && order[0] != 1 {
+		t.Fatalf("weights (%v, %v) but order %v", w0, w1, order)
+	}
+	if w0 > w1 && order[0] != 0 {
+		t.Fatalf("weights (%v, %v) but order %v", w0, w1, order)
+	}
+}

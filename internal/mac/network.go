@@ -1,0 +1,209 @@
+package mac
+
+import (
+	"fmt"
+
+	"rtmac/internal/arrival"
+	"rtmac/internal/debt"
+	"rtmac/internal/medium"
+	"rtmac/internal/phy"
+	"rtmac/internal/sim"
+)
+
+// Protocol is a medium-access policy driven by the network's interval loop.
+// BeginInterval is invoked at each interval's start with fresh arrivals
+// already in the buffers; the protocol schedules its transmissions through
+// the context (and the Contention coordinator, if it uses one).
+// EndInterval is invoked at the deadline, after all channel activity for the
+// interval has finished, so the protocol can commit state (e.g. priority
+// swaps) and cancel whatever it scheduled.
+type Protocol interface {
+	Name() string
+	BeginInterval(ctx *Context)
+	EndInterval(ctx *Context)
+}
+
+// Observer receives a copy of per-interval results as the simulation runs;
+// metrics collectors implement it.
+type Observer interface {
+	// ObserveInterval is called once per completed interval with the
+	// arrival and service vectors of that interval. The slices are reused
+	// between calls; observers must copy what they keep.
+	ObserveInterval(k int64, arrivals, served []int)
+}
+
+// NetworkConfig assembles one simulated network (N, A, T, p) plus the policy
+// under test.
+type NetworkConfig struct {
+	// Seed drives every random stream in the simulation.
+	Seed uint64
+	// Profile sets slot, airtime and interval durations.
+	Profile phy.Profile
+	// SuccessProb is the per-link delivery probability vector p (the
+	// paper's static channel model). Leave nil when Channel is set.
+	SuccessProb []float64
+	// Channel, when non-nil, replaces the static model with a time-varying
+	// one (e.g. medium.GilbertElliott); mutually exclusive with
+	// SuccessProb. The network size is then taken from Required.
+	Channel medium.Model
+	// ChannelFactory builds a time-varying model bound to the network's
+	// own engine (models needing the engine's deterministic RNG streams
+	// cannot be constructed before the network exists). Mutually exclusive
+	// with SuccessProb and Channel.
+	ChannelFactory func(eng *sim.Engine, links int) (medium.Model, error)
+	// Arrivals generates A(k).
+	Arrivals arrival.VectorProcess
+	// Required is the per-link timely-throughput requirement vector q
+	// (packets per interval).
+	Required []float64
+	// Protocol is the policy under test.
+	Protocol Protocol
+	// Observers receive per-interval results.
+	Observers []Observer
+}
+
+// Network runs one protocol over the interval structure of the paper.
+type Network struct {
+	cfg       NetworkConfig
+	eng       *sim.Engine
+	med       *medium.Medium
+	ledger    *debt.Ledger
+	ctx       *Context
+	cont      *Contention
+	arrivals  []int
+	intervals int64
+}
+
+// NewNetwork validates the configuration and assembles the simulation.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("mac: no protocol")
+	}
+	if cfg.Arrivals == nil {
+		return nil, fmt.Errorf("mac: no arrival process")
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, fmt.Errorf("mac: %w", err)
+	}
+	modelSources := 0
+	for _, set := range []bool{cfg.SuccessProb != nil, cfg.Channel != nil, cfg.ChannelFactory != nil} {
+		if set {
+			modelSources++
+		}
+	}
+	if modelSources > 1 {
+		return nil, fmt.Errorf("mac: set exactly one of SuccessProb, Channel, ChannelFactory")
+	}
+	var n int
+	if cfg.SuccessProb != nil {
+		n = len(cfg.SuccessProb)
+	} else {
+		n = len(cfg.Required)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("mac: no links configured")
+	}
+	if cfg.Arrivals.Links() != n {
+		return nil, fmt.Errorf("mac: arrival process covers %d links, medium has %d",
+			cfg.Arrivals.Links(), n)
+	}
+	if len(cfg.Required) != n {
+		return nil, fmt.Errorf("mac: requirement vector has %d links, medium has %d",
+			len(cfg.Required), n)
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	var (
+		med *medium.Medium
+		err error
+	)
+	switch {
+	case cfg.ChannelFactory != nil:
+		var model medium.Model
+		model, err = cfg.ChannelFactory(eng, n)
+		if err != nil {
+			return nil, fmt.Errorf("mac: channel factory: %w", err)
+		}
+		med, err = medium.NewWithModel(eng, n, model)
+	case cfg.Channel != nil:
+		med, err = medium.NewWithModel(eng, n, cfg.Channel)
+	default:
+		med, err = medium.New(eng, cfg.SuccessProb)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mac: %w", err)
+	}
+	ledger, err := debt.NewLedger(cfg.Required)
+	if err != nil {
+		return nil, fmt.Errorf("mac: %w", err)
+	}
+	cont, err := NewContention(eng, med, cfg.Profile.Slot)
+	if err != nil {
+		return nil, fmt.Errorf("mac: %w", err)
+	}
+	ctx := newContext(eng, med, cfg.Profile, ledger)
+	ctx.cont = cont
+	return &Network{
+		cfg:      cfg,
+		eng:      eng,
+		med:      med,
+		ledger:   ledger,
+		ctx:      ctx,
+		cont:     cont,
+		arrivals: make([]int, n),
+	}, nil
+}
+
+// Links returns N.
+func (nw *Network) Links() int { return nw.med.Links() }
+
+// Engine exposes the simulation engine (e.g. for protocols needing extra
+// random streams in tests).
+func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// Medium exposes the shared channel.
+func (nw *Network) Medium() *medium.Medium { return nw.med }
+
+// Ledger exposes the delivery-debt ledger.
+func (nw *Network) Ledger() *debt.Ledger { return nw.ledger }
+
+// Contention exposes the slotted-backoff coordinator protocols may use.
+func (nw *Network) Contention() *Contention { return nw.cont }
+
+// Intervals returns the number of completed intervals.
+func (nw *Network) Intervals() int64 { return nw.intervals }
+
+// Run simulates the given number of additional intervals. It can be called
+// repeatedly to continue the same simulation.
+func (nw *Network) Run(intervals int) error {
+	if intervals < 0 {
+		return fmt.Errorf("mac: negative interval count %d", intervals)
+	}
+	rng := nw.eng.RNG("arrivals")
+	for i := 0; i < intervals; i++ {
+		k := nw.intervals
+		start := sim.Time(k) * nw.cfg.Profile.Interval
+		end := start + nw.cfg.Profile.Interval
+		if nw.eng.Now() != start {
+			return fmt.Errorf("mac: interval %d starts at %v but clock is at %v",
+				k, start, nw.eng.Now())
+		}
+		nw.cfg.Arrivals.Sample(rng, nw.arrivals)
+		nw.ctx.beginInterval(k, start, end, nw.arrivals)
+		nw.cfg.Protocol.BeginInterval(nw.ctx)
+		nw.eng.RunUntil(end)
+		nw.cfg.Protocol.EndInterval(nw.ctx)
+		nw.cont.Clear()
+		if pending := nw.eng.Pending(); pending != 0 {
+			return fmt.Errorf("mac: protocol %s leaked %d events past interval %d",
+				nw.cfg.Protocol.Name(), pending, k)
+		}
+		if err := nw.ledger.EndInterval(nw.ctx.served); err != nil {
+			return err
+		}
+		for _, obs := range nw.cfg.Observers {
+			obs.ObserveInterval(k, nw.arrivals, nw.ctx.served)
+		}
+		nw.intervals++
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Package tdma implements a static time-division baseline: every interval's
+// transmission slots are split among links in fixed round-robin order,
+// irrespective of debts, arrivals, or outcomes. It is the zero-adaptivity
+// reference point: collision-free like the DP protocol, but with none of
+// its debt responsiveness — under asymmetric channels or bursty arrivals
+// the fixed allocation wastes exactly the capacity the debt-driven policies
+// recover.
+package tdma
+
+import (
+	"fmt"
+
+	"rtmac/internal/mac"
+	"rtmac/internal/sim"
+)
+
+// Protocol is the static TDMA policy. The zero value is invalid; use New.
+type Protocol struct {
+	// rotate shifts the round-robin start each interval so leftover slots
+	// (when slots % N != 0) spread fairly.
+	rotate bool
+	// Per-interval scratch.
+	alloc []int
+	order []int
+	timer *sim.Timer
+	k     int64
+}
+
+// New returns a TDMA instance. rotate spreads remainder slots across links
+// over successive intervals.
+func New(rotate bool) *Protocol {
+	return &Protocol{rotate: rotate}
+}
+
+// Name implements mac.Protocol.
+func (p *Protocol) Name() string { return "tdma" }
+
+// BeginInterval implements mac.Protocol: divide the interval's slots evenly
+// and serve each link's share in order.
+func (p *Protocol) BeginInterval(ctx *mac.Context) {
+	n := ctx.Links()
+	if cap(p.alloc) < n {
+		p.alloc = make([]int, n)
+		p.order = make([]int, n)
+	}
+	p.alloc = p.alloc[:n]
+	p.order = p.order[:n]
+	slots := ctx.Profile.SlotsPerInterval()
+	base := slots / n
+	extra := slots % n
+	start := 0
+	if p.rotate {
+		start = int(p.k % int64(n))
+	}
+	for i := 0; i < n; i++ {
+		link := (start + i) % n
+		p.order[i] = link
+		p.alloc[link] = base
+		if i < extra {
+			p.alloc[link]++
+		}
+	}
+	p.k++
+	p.serveNext(ctx)
+}
+
+// serveNext consumes the allocation in order; slots whose owner has nothing
+// to send idle away, exactly as in a hardware TDMA frame.
+func (p *Protocol) serveNext(ctx *mac.Context) {
+	for _, link := range p.order {
+		if p.alloc[link] == 0 {
+			continue
+		}
+		p.alloc[link]--
+		if ctx.Pending(link) > 0 {
+			if !ctx.TransmitData(link, func(bool) { p.serveNext(ctx) }) {
+				return
+			}
+			return
+		}
+		if ctx.Remaining() < ctx.Profile.DataAirtime {
+			return
+		}
+		p.timer = ctx.Eng.After(ctx.Profile.DataAirtime, func() {
+			p.timer = nil
+			p.serveNext(ctx)
+		})
+		return
+	}
+}
+
+// EndInterval implements mac.Protocol.
+func (p *Protocol) EndInterval(ctx *mac.Context) {
+	if p.timer != nil {
+		ctx.Eng.Cancel(p.timer)
+		p.timer = nil
+	}
+	for i := range p.alloc {
+		p.alloc[i] = 0
+	}
+}
+
+// String aids debugging.
+func (p *Protocol) String() string {
+	return fmt.Sprintf("tdma(rotate=%v)", p.rotate)
+}
+
+var _ mac.Protocol = (*Protocol)(nil)

@@ -1,0 +1,108 @@
+package tdma
+
+import (
+	"testing"
+
+	"rtmac/internal/arrival"
+	"rtmac/internal/mac"
+	"rtmac/internal/mac/ldf"
+	"rtmac/internal/metrics"
+	"rtmac/internal/phy"
+)
+
+func fastProfile() phy.Profile {
+	return phy.Profile{Name: "test", Slot: 1, DataAirtime: 10, EmptyAirtime: 2, Interval: 100}
+}
+
+func run(t *testing.T, seed uint64, prot mac.Protocol, probs []float64,
+	av arrival.VectorProcess, q []float64, intervals int) (*mac.Network, *metrics.Collector) {
+	t.Helper()
+	col, err := metrics.NewCollector(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := mac.NewNetwork(mac.NetworkConfig{
+		Seed:        seed,
+		Profile:     fastProfile(),
+		SuccessProb: probs,
+		Arrivals:    av,
+		Required:    q,
+		Protocol:    prot,
+		Observers:   []mac.Observer{col},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(intervals); err != nil {
+		t.Fatal(err)
+	}
+	return nw, col
+}
+
+func TestSymmetricReliableLoadFulfilled(t *testing.T) {
+	// 2 links, 10 slots: 5 each; 3 packets per link at p = 1 fit easily.
+	av, _ := arrival.Uniform(2, arrival.Deterministic{N: 3})
+	nw, col := run(t, 1, New(true), []float64{1, 1}, av, []float64{3, 3}, 500)
+	if d := col.TotalDeficiency(); d > 0.001 {
+		t.Fatalf("deficiency %v on an easy symmetric load", d)
+	}
+	if nw.Medium().Stats().Collisions != 0 {
+		t.Fatal("TDMA collided")
+	}
+}
+
+func TestFixedAllocationWastesUnderAsymmetry(t *testing.T) {
+	// Link 0 has p = 0.4 and needs ~2.5 attempts per packet; link 1 has
+	// p = 1 and 1 packet. TDMA's even 5/5 split cannot move link 1's idle
+	// slots to link 0, while LDF reallocates freely.
+	av, err := arrival.NewIndependent(arrival.Deterministic{N: 3}, arrival.Deterministic{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := []float64{0.4, 1}
+	q := []float64{2.7, 1} // 90% of link 0's arrivals, all of link 1's
+	_, tdmaCol := run(t, 2, New(true), probs, av, q, 3000)
+	_, ldfCol := run(t, 2, ldf.NewLDF(), probs, av, q, 3000)
+	tdmaD, ldfD := tdmaCol.TotalDeficiency(), ldfCol.TotalDeficiency()
+	if ldfD > 0.05 {
+		t.Fatalf("LDF deficiency %v, expected ≈ 0 (test assumption)", ldfD)
+	}
+	if tdmaD < ldfD+0.2 {
+		t.Fatalf("TDMA deficiency %v not clearly above LDF's %v", tdmaD, ldfD)
+	}
+}
+
+func TestRotationSpreadsRemainderSlots(t *testing.T) {
+	// 3 links, 10 slots: 4/3/3 with the extra slot rotating. Saturate all
+	// links; with rotation, long-run throughputs equalize.
+	av, _ := arrival.Uniform(3, arrival.Deterministic{N: 6})
+	_, col := run(t, 3, New(true), []float64{1, 1, 1}, av, []float64{2, 2, 2}, 900)
+	t0, t1, t2 := col.Throughput(0), col.Throughput(1), col.Throughput(2)
+	for _, tp := range []float64{t0, t1, t2} {
+		if tp < 3.2 || tp > 3.5 {
+			t.Fatalf("rotated throughputs not equalized near 10/3: %v %v %v", t0, t1, t2)
+		}
+	}
+	// Without rotation the first link permanently keeps the extra slot.
+	_, fixed := run(t, 3, New(false), []float64{1, 1, 1}, av, []float64{2, 2, 2}, 900)
+	if !(fixed.Throughput(0) > fixed.Throughput(2)) {
+		t.Fatalf("fixed allocation did not favor link 0: %v vs %v",
+			fixed.Throughput(0), fixed.Throughput(2))
+	}
+}
+
+func TestIdleSlotsBurnTime(t *testing.T) {
+	// Only link 0 has traffic; link 1's 5 slots idle away, capping link 0
+	// at its own 5-slot share even though the channel is free.
+	av, err := arrival.NewIndependent(arrival.Deterministic{N: 8}, arrival.Deterministic{N: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, col := run(t, 4, New(false), []float64{1, 1}, av, []float64{8, 0}, 400)
+	if got := col.Throughput(0); got > 5.01 {
+		t.Fatalf("link 0 delivered %v per interval, beyond its 5-slot TDMA share", got)
+	}
+	if got := col.Throughput(0); got < 4.99 {
+		t.Fatalf("link 0 delivered %v per interval, below its full share", got)
+	}
+}

@@ -1,0 +1,260 @@
+// Package medium simulates the shared wireless channel of a fully-interfering
+// ad hoc network (complete conflict graph), per Section II-A of the paper:
+//
+//   - If two or more links transmit with any overlap in time, all overlapping
+//     transmissions collide and fail.
+//   - A non-interfered data transmission on link n succeeds with probability
+//     p_n (unreliable channel); the transmitter learns the outcome at the end
+//     of the exchange (the ACK is part of the modelled airtime).
+//   - Every device can carrier-sense: Busy reports whether any transmission
+//     is in flight, and subscribers are told about busy/idle transitions.
+package medium
+
+import (
+	"fmt"
+
+	"rtmac/internal/sim"
+)
+
+// Outcome is the result of one transmission as observed by the transmitter.
+type Outcome int
+
+// Transmission outcomes.
+const (
+	// Delivered means the packet was received and acknowledged.
+	Delivered Outcome = iota
+	// Lost means the channel erased the packet (Bernoulli failure).
+	Lost
+	// Collided means the transmission overlapped another and was destroyed.
+	Collided
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Lost:
+		return "lost"
+	case Collided:
+		return "collided"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Listener observes channel busy/idle transitions, the simulated analogue of
+// carrier sensing hardware.
+type Listener interface {
+	// ChannelBusy fires when the channel transitions idle -> busy.
+	ChannelBusy(at sim.Time)
+	// ChannelIdle fires when the channel transitions busy -> idle.
+	ChannelIdle(at sim.Time)
+}
+
+// Transmission is one in-flight or completed channel occupancy.
+type Transmission struct {
+	Link     int
+	Empty    bool // priority-claiming frame with no payload
+	Start    sim.Time
+	End      sim.Time
+	collided bool
+	onDone   func(Outcome)
+}
+
+// Stats aggregates channel-level counters for reporting and tests.
+type Stats struct {
+	// Transmissions counts every started transmission, including empty frames.
+	Transmissions int
+	// EmptyFrames counts started priority-claiming frames.
+	EmptyFrames int
+	// Deliveries counts data transmissions that succeeded.
+	Deliveries int
+	// Losses counts data transmissions erased by the channel.
+	Losses int
+	// Collisions counts transmissions destroyed by overlap.
+	Collisions int
+	// BusyTime accumulates the union of channel-occupancy periods.
+	BusyTime sim.Time
+}
+
+// Medium is the shared channel. It is bound to one engine and is not safe
+// for concurrent use.
+type Medium struct {
+	eng       *sim.Engine
+	links     int
+	model     Model
+	rng       *sim.RNG
+	active    []*Transmission
+	listeners []Listener
+	busySince sim.Time
+	inFinish  bool
+	stats     Stats
+	traces    []func(tx Transmission, outcome Outcome)
+}
+
+// New returns a channel shared by len(success) links with the paper's
+// static reliability model; success[n] is the non-interfered delivery
+// probability p_n of link n.
+func New(eng *sim.Engine, success []float64) (*Medium, error) {
+	if len(success) == 0 {
+		return nil, fmt.Errorf("medium: no links")
+	}
+	for n, p := range success {
+		if p <= 0 || p > 1 {
+			return nil, fmt.Errorf("medium: link %d: success probability %v outside (0, 1]", n, p)
+		}
+	}
+	ps := make([]float64, len(success))
+	copy(ps, success)
+	return NewWithModel(eng, len(ps), staticModel{probs: ps})
+}
+
+// NewWithModel returns a channel whose delivery probabilities come from an
+// arbitrary (possibly time-varying) model.
+func NewWithModel(eng *sim.Engine, links int, model Model) (*Medium, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("medium: nil engine")
+	}
+	if links <= 0 {
+		return nil, fmt.Errorf("medium: no links")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("medium: nil channel model")
+	}
+	return &Medium{
+		eng:   eng,
+		links: links,
+		model: model,
+		rng:   eng.RNG("medium"),
+	}, nil
+}
+
+// Links returns the number of links sharing the channel.
+func (m *Medium) Links() int { return m.links }
+
+// SuccessProb returns the long-run mean delivery probability of link n —
+// the p_n the protocols' debt weights use. Under the static model this is
+// the instantaneous probability too.
+func (m *Medium) SuccessProb(n int) float64 { return m.model.Mean(n) }
+
+// Busy reports whether any transmission is currently in flight — the carrier-
+// sense primitive.
+func (m *Medium) Busy() bool { return len(m.active) > 0 }
+
+// ActiveCount returns the number of overlapping in-flight transmissions.
+func (m *Medium) ActiveCount() int { return len(m.active) }
+
+// Stats returns a copy of the channel counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Subscribe registers a carrier-sense listener. Listeners are notified in
+// subscription order, which keeps runs deterministic.
+func (m *Medium) Subscribe(l Listener) {
+	m.listeners = append(m.listeners, l)
+}
+
+// AddTrace installs a hook invoked once per completed transmission, with a
+// copy of the transmission record and its resolved outcome. Hooks run in
+// registration order, before the transmitter's onDone callback; multiple
+// observers (packet recorders, delay statistics) can coexist.
+func (m *Medium) AddTrace(fn func(tx Transmission, outcome Outcome)) {
+	if fn != nil {
+		m.traces = append(m.traces, fn)
+	}
+}
+
+// Start begins a transmission of the given duration on link. onDone is
+// invoked exactly once, at the instant the transmission ends, with the
+// outcome; it runs before any ChannelIdle notification so the transmitter
+// can chain another transmission back-to-back without releasing the channel.
+func (m *Medium) Start(link int, duration sim.Time, empty bool, onDone func(Outcome)) *Transmission {
+	if link < 0 || link >= m.links {
+		panic(fmt.Sprintf("medium: link %d out of range [0, %d)", link, m.links))
+	}
+	if duration <= 0 {
+		panic(fmt.Sprintf("medium: non-positive transmission duration %v", duration))
+	}
+	for _, other := range m.active {
+		if other.Link == link {
+			panic(fmt.Sprintf("medium: link %d started a transmission while already transmitting", link))
+		}
+	}
+	now := m.eng.Now()
+	tx := &Transmission{
+		Link:   link,
+		Empty:  empty,
+		Start:  now,
+		End:    now + duration,
+		onDone: onDone,
+	}
+	// Any overlap destroys every transmission involved.
+	if len(m.active) > 0 {
+		tx.collided = true
+		for _, other := range m.active {
+			other.collided = true
+		}
+	}
+	// A transmission chained from inside a finishing transmission's onDone
+	// keeps the channel continuously occupied: no idle/busy transition.
+	wasIdle := len(m.active) == 0 && !m.inFinish
+	m.active = append(m.active, tx)
+	m.stats.Transmissions++
+	if empty {
+		m.stats.EmptyFrames++
+	}
+	if wasIdle {
+		m.busySince = now
+		for _, l := range m.listeners {
+			l.ChannelBusy(now)
+		}
+	}
+	m.eng.ScheduleAt(tx.End, func() { m.finish(tx) })
+	return tx
+}
+
+func (m *Medium) finish(tx *Transmission) {
+	// Remove tx from the active set.
+	for i, other := range m.active {
+		if other == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	outcome := m.resolve(tx)
+	for _, hook := range m.traces {
+		hook(*tx, outcome)
+	}
+	if tx.onDone != nil {
+		// The callback may immediately start a follow-up transmission,
+		// keeping the channel busy with no idle gap.
+		m.inFinish = true
+		tx.onDone(outcome)
+		m.inFinish = false
+	}
+	if len(m.active) == 0 {
+		now := m.eng.Now()
+		m.stats.BusyTime += now - m.busySince
+		for _, l := range m.listeners {
+			l.ChannelIdle(now)
+		}
+	}
+}
+
+func (m *Medium) resolve(tx *Transmission) Outcome {
+	if tx.collided {
+		m.stats.Collisions++
+		return Collided
+	}
+	if tx.Empty {
+		// Empty frames carry no payload and expect no ACK; an uncollided
+		// empty frame always serves its priority-claiming purpose.
+		return Delivered
+	}
+	if m.rng.Bernoulli(m.model.Instantaneous(tx.Link, tx.End)) {
+		m.stats.Deliveries++
+		return Delivered
+	}
+	m.stats.Losses++
+	return Lost
+}

@@ -1,0 +1,140 @@
+package medium
+
+import (
+	"math"
+	"testing"
+
+	"rtmac/internal/sim"
+)
+
+func TestGilbertElliottValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cases := []struct {
+		name                              string
+		n                                 int
+		pGood, pBad, goodToBad, badToGood float64
+		period                            sim.Time
+	}{
+		{"zero links", 0, 0.9, 0.3, 0.1, 0.2, 100},
+		{"pGood above 1", 2, 1.1, 0.3, 0.1, 0.2, 100},
+		{"pBad zero", 2, 0.9, 0, 0.1, 0.2, 100},
+		{"pBad above pGood", 2, 0.3, 0.9, 0.1, 0.2, 100},
+		{"bad transition", 2, 0.9, 0.3, -0.1, 0.2, 100},
+		{"badToGood zero", 2, 0.9, 0.3, 0.1, 0, 100},
+		{"zero period", 2, 0.9, 0.3, 0.1, 0.2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewGilbertElliott(eng, tc.n, tc.pGood, tc.pBad,
+				tc.goodToBad, tc.badToGood, tc.period); err == nil {
+				t.Fatal("invalid parameters accepted")
+			}
+		})
+	}
+}
+
+func TestGilbertElliottMean(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ge, err := NewGilbertElliott(eng, 3, 0.9, 0.3, 0.1, 0.3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(bad) = 0.1/0.4 = 0.25; mean = 0.75·0.9 + 0.25·0.3 = 0.75.
+	if got := ge.Mean(0); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("Mean = %v, want 0.75", got)
+	}
+}
+
+func TestGilbertElliottStatesEvolveAndMatchStationary(t *testing.T) {
+	eng := sim.NewEngine(7)
+	ge, err := NewGilbertElliott(eng, 1, 0.9, 0.3, 0.05, 0.15, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample the instantaneous probability over many periods: the fraction
+	// of bad-state samples must approach 0.05/0.20 = 0.25, and both values
+	// must appear.
+	bad, good := 0, 0
+	for step := 1; step <= 200000; step++ {
+		switch ge.Instantaneous(0, sim.Time(step)*100) {
+		case 0.3:
+			bad++
+		case 0.9:
+			good++
+		default:
+			t.Fatal("unexpected instantaneous probability")
+		}
+	}
+	frac := float64(bad) / float64(bad+good)
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("bad-state fraction %v, want ≈ 0.25", frac)
+	}
+}
+
+func TestGilbertElliottLazyAdvanceIsConsistent(t *testing.T) {
+	// Queries within the same period must return the same value; repeated
+	// queries at the same instant must not re-advance the chain.
+	eng := sim.NewEngine(9)
+	ge, err := NewGilbertElliott(eng, 1, 0.9, 0.3, 0.5, 0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ge.Instantaneous(0, 1000)
+	b := ge.Instantaneous(0, 1000)
+	c := ge.Instantaneous(0, 1050) // same period
+	if a != b || a != c {
+		t.Fatalf("same-period queries differ: %v %v %v", a, b, c)
+	}
+}
+
+func TestMediumWithFadingModel(t *testing.T) {
+	// Empirical delivery rate over a fading channel must approach the
+	// model's mean, not either state probability.
+	eng := sim.NewEngine(11)
+	ge, err := NewGilbertElliott(eng, 1, 0.9, 0.3, 0.1, 0.3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewWithModel(eng, 1, ge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SuccessProb(0); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("SuccessProb = %v, want the mean 0.75", got)
+	}
+	const trials = 40000
+	delivered := 0
+	var next func()
+	i := 0
+	next = func() {
+		if i >= trials {
+			return
+		}
+		i++
+		m.Start(0, 10, false, func(o Outcome) {
+			if o == Delivered {
+				delivered++
+			}
+			next()
+		})
+	}
+	next()
+	eng.Run()
+	rate := float64(delivered) / trials
+	if math.Abs(rate-0.75) > 0.02 {
+		t.Fatalf("empirical rate %v, want ≈ 0.75", rate)
+	}
+}
+
+func TestNewWithModelValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	if _, err := NewWithModel(nil, 1, staticModel{probs: []float64{1}}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewWithModel(eng, 0, staticModel{}); err == nil {
+		t.Error("zero links accepted")
+	}
+	if _, err := NewWithModel(eng, 1, nil); err == nil {
+		t.Error("nil model accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package optimal_test
+
+import (
+	"fmt"
+
+	"rtmac/internal/optimal"
+)
+
+// Lemma 3, computationally: serving links in decreasing w·p order achieves
+// the exact interval optimum of E[Σ w_n S_n], even against fully adaptive
+// policies.
+func ExampleMaxExpectedWeightedService() {
+	in := optimal.Instance{
+		Slots:       4,
+		Weights:     []float64{3, 1},
+		SuccessProb: []float64{0.5, 0.9},
+		Initial:     []int{2, 2},
+	}
+	opt, err := optimal.MaxExpectedWeightedService(in)
+	if err != nil {
+		panic(err)
+	}
+	order := optimal.GreedyOrder(in.Weights, in.SuccessProb)
+	greedy, err := optimal.PriorityPolicyValue(in, order)
+	if err != nil {
+		panic(err)
+	}
+	reversed, err := optimal.PriorityPolicyValue(in, []int{order[1], order[0]})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("greedy order: %v\n", order)
+	fmt.Printf("optimum %.4f, greedy %.4f, reversed %.4f\n", opt, greedy, reversed)
+	fmt.Println("greedy attains optimum:", opt-greedy < 1e-12)
+	// Output:
+	// greedy order: [0 1]
+	// optimum 5.5500, greedy 5.5500, reversed 4.6692
+	// greedy attains optimum: true
+}

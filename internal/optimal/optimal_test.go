@@ -1,0 +1,289 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rtmac/internal/perm"
+	"rtmac/internal/sim"
+)
+
+func TestValidate(t *testing.T) {
+	good := Instance{
+		Slots:       4,
+		Weights:     []float64{1, 2},
+		SuccessProb: []float64{0.5, 0.8},
+		Initial:     []int{1, 2},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Instance)
+	}{
+		{"no links", func(in *Instance) { in.Weights = nil; in.SuccessProb = nil; in.Initial = nil }},
+		{"negative slots", func(in *Instance) { in.Slots = -1 }},
+		{"length mismatch", func(in *Instance) { in.Initial = []int{1} }},
+		{"zero probability", func(in *Instance) { in.SuccessProb = []float64{0, 0.8} }},
+		{"negative weight", func(in *Instance) { in.Weights = []float64{-1, 2} }},
+		{"negative packets", func(in *Instance) { in.Initial = []int{-1, 2} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := good
+			tc.mutate(&in)
+			if in.Validate() == nil {
+				t.Fatal("invalid instance accepted")
+			}
+		})
+	}
+}
+
+func TestValidateRejectsHugeInstances(t *testing.T) {
+	in := Instance{
+		Slots:       1000,
+		Weights:     make([]float64, 12),
+		SuccessProb: make([]float64, 12),
+		Initial:     make([]int, 12),
+	}
+	for i := range in.Weights {
+		in.Weights[i] = 1
+		in.SuccessProb[i] = 0.5
+		in.Initial[i] = 9
+	}
+	if in.Validate() == nil {
+		t.Fatal("10^12-state instance accepted")
+	}
+}
+
+func TestSingleLinkClosedForm(t *testing.T) {
+	// One link, one packet, s slots: E = w · (1 − (1−p)^s).
+	for _, tc := range []struct {
+		p     float64
+		slots int
+	}{{0.7, 1}, {0.7, 4}, {0.3, 6}, {1, 2}} {
+		in := Instance{Slots: tc.slots, Weights: []float64{2.5}, SuccessProb: []float64{tc.p}, Initial: []int{1}}
+		got, err := MaxExpectedWeightedService(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2.5 * (1 - math.Pow(1-tc.p, float64(tc.slots)))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%v s=%d: got %v, want %v", tc.p, tc.slots, got, want)
+		}
+	}
+}
+
+func TestTwoLinksOneSlot(t *testing.T) {
+	// One slot: the optimum transmits the link with the larger w·p.
+	in := Instance{
+		Slots:       1,
+		Weights:     []float64{1, 3},
+		SuccessProb: []float64{0.9, 0.4},
+		Initial:     []int{1, 1},
+	}
+	got, err := MaxExpectedWeightedService(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Max(1*0.9, 3*0.4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestZeroSlotsOrNoPackets(t *testing.T) {
+	in := Instance{Slots: 0, Weights: []float64{1}, SuccessProb: []float64{0.5}, Initial: []int{3}}
+	if v, err := MaxExpectedWeightedService(in); err != nil || v != 0 {
+		t.Fatalf("zero slots: v=%v err=%v", v, err)
+	}
+	in = Instance{Slots: 5, Weights: []float64{1}, SuccessProb: []float64{0.5}, Initial: []int{0}}
+	if v, err := MaxExpectedWeightedService(in); err != nil || v != 0 {
+		t.Fatalf("no packets: v=%v err=%v", v, err)
+	}
+}
+
+func TestPriorityPolicyValidation(t *testing.T) {
+	in := Instance{Slots: 2, Weights: []float64{1, 1}, SuccessProb: []float64{0.5, 0.5}, Initial: []int{1, 1}}
+	if _, err := PriorityPolicyValue(in, []int{0}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := PriorityPolicyValue(in, []int{0, 0}); err == nil {
+		t.Error("duplicate order accepted")
+	}
+	if _, err := PriorityPolicyValue(in, []int{0, 2}); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+}
+
+func TestGreedyOrder(t *testing.T) {
+	order := GreedyOrder([]float64{1, 3, 2}, []float64{0.9, 0.4, 0.6})
+	// w·p = 0.9, 1.2, 1.2 → links 1 and 2 tie at 1.2, broken by ID.
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("GreedyOrder = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestLemmaThree is the computational verification of the paper's Lemma 3:
+// on randomized instances, the fixed greedy priority ordering (ELDF)
+// attains the exact optimum over all adaptive policies.
+func TestLemmaThree(t *testing.T) {
+	rng := sim.NewRNG(77)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.IntN(3) // 2..4 links
+		in := Instance{
+			Slots:       1 + rng.IntN(8),
+			Weights:     make([]float64, n),
+			SuccessProb: make([]float64, n),
+			Initial:     make([]int, n),
+		}
+		for i := 0; i < n; i++ {
+			in.Weights[i] = rng.Float64() * 5
+			in.SuccessProb[i] = 0.05 + 0.95*rng.Float64()
+			in.Initial[i] = rng.IntN(4)
+		}
+		opt, err := MaxExpectedWeightedService(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := PriorityPolicyValue(in, GreedyOrder(in.Weights, in.SuccessProb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(opt-greedy) > 1e-9 {
+			t.Fatalf("trial %d: greedy priority %v < optimum %v on %+v", trial, greedy, opt, in)
+		}
+	}
+}
+
+// TestNonGreedyOrdersAreDominated: every ordering is ≤ the optimum, and on
+// an instance with clearly separated weights the reversed order is strictly
+// worse.
+func TestNonGreedyOrdersAreDominated(t *testing.T) {
+	in := Instance{
+		Slots:       3,
+		Weights:     []float64{5, 1, 0.2},
+		SuccessProb: []float64{0.6, 0.6, 0.6},
+		Initial:     []int{2, 2, 2},
+	}
+	opt, err := MaxExpectedWeightedService(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := perm.Enumerate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sigma := range states {
+		v, err := PriorityPolicyValue(in, sigma.Inverse())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > opt+1e-9 {
+			t.Fatalf("ordering %v beats the optimum: %v > %v", sigma, v, opt)
+		}
+	}
+	worst, err := PriorityPolicyValue(in, []int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst >= opt-1e-9 {
+		t.Fatalf("reversed order %v not strictly dominated (optimum %v)", worst, opt)
+	}
+}
+
+// TestPropositionFourIllustration: averaging the fixed-order value over the
+// Proposition-2 stationary distribution approaches the optimum as the
+// weight separation grows — the mechanism behind DB-DP's feasibility
+// optimality (large debts concentrate the ordering distribution on the
+// greedy ordering).
+func TestPropositionFourIllustration(t *testing.T) {
+	in := Instance{
+		Slots:       4,
+		Weights:     nil, // set per scale below
+		SuccessProb: []float64{0.7, 0.7, 0.7},
+		Initial:     []int{2, 2, 2},
+	}
+	baseWeights := []float64{3, 2, 1}
+	states, err := perm.Enumerate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(scale float64) float64 {
+		w := make([]float64, 3)
+		for i := range w {
+			w[i] = baseWeights[i] * scale
+		}
+		in.Weights = w
+		opt, err := MaxExpectedWeightedService(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stationary distribution with weights w_n·p_n, as Prop. 3 uses.
+		wp := make([]float64, 3)
+		for i := range wp {
+			wp[i] = w[i] * in.SuccessProb[i]
+		}
+		pi, err := perm.StationaryFromWeights(wp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := 0.0
+		for r, sigma := range states {
+			v, err := PriorityPolicyValue(in, sigma.Inverse())
+			if err != nil {
+				t.Fatal(err)
+			}
+			avg += pi[r] * v
+		}
+		return avg / opt
+	}
+	small := ratio(0.2)
+	large := ratio(20)
+	if !(large > small) {
+		t.Fatalf("ratio did not improve with weight separation: %v -> %v", small, large)
+	}
+	if large < 0.999 {
+		t.Fatalf("with well-separated weights the stationary average reaches %v of optimum, want ≥ 0.999", large)
+	}
+}
+
+// Property: the optimum is monotone in slots and never exceeds the total
+// available weighted reward.
+func TestOptimumBoundsProperty(t *testing.T) {
+	prop := func(seed uint16) bool {
+		rng := sim.NewRNG(uint64(seed) + 1)
+		n := 2 + rng.IntN(2)
+		weights := make([]float64, n)
+		probs := make([]float64, n)
+		initial := make([]int, n)
+		total := 0.0
+		for i := 0; i < n; i++ {
+			weights[i] = rng.Float64() * 3
+			probs[i] = 0.1 + 0.9*rng.Float64()
+			initial[i] = rng.IntN(3)
+			total += weights[i] * float64(initial[i])
+		}
+		prev := 0.0
+		for slots := 0; slots <= 6; slots++ {
+			in := Instance{Slots: slots, Weights: weights, SuccessProb: probs, Initial: initial}
+			v, err := MaxExpectedWeightedService(in)
+			if err != nil {
+				return false
+			}
+			if v < prev-1e-12 || v > total+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

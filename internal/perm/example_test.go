@@ -1,0 +1,65 @@
+package perm_test
+
+import (
+	"fmt"
+
+	"rtmac/internal/perm"
+)
+
+// The priority process of the DP protocol lives on permutations: this
+// example walks the algebra of Definitions 7–9.
+func ExamplePermutation_SwapAtPriority() {
+	sigma := perm.Identity(4) // link n holds priority n+1
+	swapped := sigma.SwapAtPriority(2)
+	fmt.Println("before:", sigma)
+	fmt.Println("after: ", swapped)
+	fmt.Println("diff:  ", sigma.SymmetricDifference(swapped))
+	// Output:
+	// before: [1 2 3 4]
+	// after:  [1 3 2 4]
+	// diff:   [1 2]
+}
+
+// Proposition 2: with constant per-link biases µ, the DP protocol's
+// priority ordering has an explicit product-form stationary law. The link
+// with the largest µ is most likely on top.
+func ExampleStationaryFromMu() {
+	pi, err := perm.StationaryFromMu([]float64{0.2, 0.5, 0.8})
+	if err != nil {
+		panic(err)
+	}
+	marginals, err := perm.PriorityMarginals(3, pi)
+	if err != nil {
+		panic(err)
+	}
+	for link, m := range marginals {
+		fmt.Printf("link %d holds priority 1 with probability %.3f\n", link, m[0])
+	}
+	// Output:
+	// link 0 holds priority 1 with probability 0.013
+	// link 1 holds priority 1 with probability 0.173
+	// link 2 holds priority 1 with probability 0.814
+}
+
+// Lemma 4 and the Eq. 9 transition structure: the chain is irreducible and
+// reversible with respect to the Proposition-2 law.
+func ExampleNewChain() {
+	mu := []float64{0.3, 0.6, 0.8}
+	chain, err := perm.NewChain(mu, 1)
+	if err != nil {
+		panic(err)
+	}
+	pi, err := perm.StationaryFromMu(mu)
+	if err != nil {
+		panic(err)
+	}
+	viol, err := chain.DetailedBalanceError(pi)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("irreducible:", chain.Irreducible())
+	fmt.Println("detailed balance violated:", viol > 1e-12)
+	// Output:
+	// irreducible: true
+	// detailed balance violated: false
+}

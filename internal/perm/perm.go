@@ -1,0 +1,276 @@
+// Package perm implements the permutation algebra of Section IV of the paper
+// (Definitions 7–9) and the Markov-chain analysis of the DP protocol's
+// priority process {σ(k)} (Eq. 9 transition structure, Propositions 2–3
+// stationary distributions).
+//
+// Conventions: links are 0-indexed (0..N-1) as everywhere in this module,
+// while priority indices are 1-indexed (1..N) as in the paper, priority 1
+// being the highest. A Permutation maps link → priority.
+package perm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Permutation assigns a priority index to every link: p[link] = priority,
+// with priorities forming exactly {1, ..., N}.
+type Permutation []int
+
+// Identity returns the permutation where link n holds priority n+1.
+func Identity(n int) Permutation {
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = i + 1
+	}
+	return p
+}
+
+// New validates that priorities is a bijection onto {1..N} and returns it as
+// a Permutation (copying the input).
+func New(priorities []int) (Permutation, error) {
+	n := len(priorities)
+	if n == 0 {
+		return nil, fmt.Errorf("perm: empty permutation")
+	}
+	seen := make([]bool, n+1)
+	for link, pr := range priorities {
+		if pr < 1 || pr > n {
+			return nil, fmt.Errorf("perm: link %d has priority %d outside [1, %d]", link, pr, n)
+		}
+		if seen[pr] {
+			return nil, fmt.Errorf("perm: priority %d assigned twice", pr)
+		}
+		seen[pr] = true
+	}
+	p := make(Permutation, n)
+	copy(p, priorities)
+	return p, nil
+}
+
+// Len returns N.
+func (p Permutation) Len() int { return len(p) }
+
+// Clone returns an independent copy.
+func (p Permutation) Clone() Permutation {
+	q := make(Permutation, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether two permutations are identical.
+func (p Permutation) Equal(q Permutation) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether p is a bijection onto {1..N}.
+func (p Permutation) Valid() bool {
+	_, err := New(p)
+	return err == nil
+}
+
+// LinkAtPriority returns the link holding the given priority (1-indexed),
+// i.e. the inverse permutation evaluated at pr. It panics on an out-of-range
+// priority, which always indicates a caller bug.
+func (p Permutation) LinkAtPriority(pr int) int {
+	for link, q := range p {
+		if q == pr {
+			return link
+		}
+	}
+	panic(fmt.Sprintf("perm: priority %d not held by any link in %v", pr, []int(p)))
+}
+
+// Inverse returns the inverse map: inv[pr-1] = link holding priority pr.
+func (p Permutation) Inverse() []int {
+	inv := make([]int, len(p))
+	for link, pr := range p {
+		inv[pr-1] = link
+	}
+	return inv
+}
+
+// SymmetricDifference returns the links on which p and q disagree
+// (Definition 9), in increasing link order.
+func (p Permutation) SymmetricDifference(q Permutation) []int {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("perm: length mismatch %d vs %d", len(p), len(q)))
+	}
+	var diff []int
+	for link := range p {
+		if p[link] != q[link] {
+			diff = append(diff, link)
+		}
+	}
+	return diff
+}
+
+// AdjacentSwapLinks describes a transition σ → σ̂ that exchanges two adjacent
+// priorities m and m+1 (Definition 8). Down is the link that held priority m
+// in σ and moves down; Up is the link that held m+1 and moves up.
+type AdjacentSwapLinks struct {
+	Down, Up int
+	Priority int // m, the higher (numerically smaller) of the two priorities
+}
+
+// AsAdjacentTransposition reports whether q is obtained from p by a single
+// adjacent transposition, and if so, which links swapped.
+func (p Permutation) AsAdjacentTransposition(q Permutation) (AdjacentSwapLinks, bool) {
+	diff := p.SymmetricDifference(q)
+	if len(diff) != 2 {
+		return AdjacentSwapLinks{}, false
+	}
+	i, j := diff[0], diff[1]
+	// The two links must have exchanged priorities, and those priorities
+	// must be adjacent.
+	if p[i] != q[j] || p[j] != q[i] {
+		return AdjacentSwapLinks{}, false
+	}
+	if abs(p[i]-p[j]) != 1 {
+		return AdjacentSwapLinks{}, false
+	}
+	if p[i] < p[j] {
+		return AdjacentSwapLinks{Down: i, Up: j, Priority: p[i]}, true
+	}
+	return AdjacentSwapLinks{Down: j, Up: i, Priority: p[j]}, true
+}
+
+// SwapAtPriority returns a copy of p with the links holding priorities c and
+// c+1 exchanged. It panics when c is out of range [1, N-1].
+func (p Permutation) SwapAtPriority(c int) Permutation {
+	if c < 1 || c >= len(p) {
+		panic(fmt.Sprintf("perm: swap priority %d outside [1, %d]", c, len(p)-1))
+	}
+	q := p.Clone()
+	down := p.LinkAtPriority(c)
+	up := p.LinkAtPriority(c + 1)
+	q[down] = c + 1
+	q[up] = c
+	return q
+}
+
+// Rank returns the permutation's index in {0, ..., N!-1} using the Lehmer
+// code over the inverse representation, so that each permutation of a given
+// size has a unique dense rank. Suitable as a map/array key for small N.
+func (p Permutation) Rank() int {
+	inv := p.Inverse() // sequence of links by priority
+	n := len(inv)
+	rank := 0
+	for i := 0; i < n; i++ {
+		smaller := 0
+		for j := i + 1; j < n; j++ {
+			if inv[j] < inv[i] {
+				smaller++
+			}
+		}
+		rank = rank*(n-i) + smaller
+	}
+	return rank
+}
+
+// Unrank is the inverse of Rank for permutations of size n.
+func Unrank(n, rank int) (Permutation, error) {
+	total := Factorial(n)
+	if rank < 0 || rank >= total {
+		return nil, fmt.Errorf("perm: rank %d outside [0, %d)", rank, total)
+	}
+	// Decode the Lehmer code.
+	code := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		code[i] = rank % (n - i)
+		rank /= (n - i)
+	}
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	inv := make([]int, n)
+	for i := 0; i < n; i++ {
+		inv[i] = avail[code[i]]
+		avail = append(avail[:code[i]], avail[code[i]+1:]...)
+	}
+	p := make(Permutation, n)
+	for pr, link := range inv {
+		p[link] = pr + 1
+	}
+	return p, nil
+}
+
+// Enumerate returns all permutations of size n in rank order. It refuses
+// n > 9 (362 880 states) to keep accidental blowups out of tests.
+func Enumerate(n int) ([]Permutation, error) {
+	if n < 1 || n > 9 {
+		return nil, fmt.Errorf("perm: enumeration supported for 1 <= n <= 9, got %d", n)
+	}
+	total := Factorial(n)
+	out := make([]Permutation, total)
+	for r := 0; r < total; r++ {
+		p, err := Unrank(n, r)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = p
+	}
+	return out, nil
+}
+
+// Factorial returns n! for small n; it panics on negative input.
+func Factorial(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("perm: factorial of negative %d", n))
+	}
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// G is the paper's exponent function g(j) = N − j for 1 ≤ j ≤ N, 0 otherwise
+// (Eq. 12): the highest priority carries the largest exponent.
+func G(n, j int) int {
+	if j < 1 || j > n {
+		return 0
+	}
+	return n - j
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String renders the permutation in the paper's vector form.
+func (p Permutation) String() string {
+	return fmt.Sprintf("%v", []int(p))
+}
+
+var _ fmt.Stringer = Permutation{}
+
+// logSumExp returns log Σ exp(x_i) computed stably.
+func logSumExp(xs []float64) float64 {
+	maxX := math.Inf(-1)
+	for _, x := range xs {
+		if x > maxX {
+			maxX = x
+		}
+	}
+	if math.IsInf(maxX, -1) {
+		return maxX
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp(x - maxX)
+	}
+	return maxX + math.Log(sum)
+}

@@ -1,0 +1,464 @@
+package perm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityAndValidation(t *testing.T) {
+	p := Identity(4)
+	if !p.Valid() {
+		t.Fatal("identity invalid")
+	}
+	for link, pr := range p {
+		if pr != link+1 {
+			t.Fatalf("Identity(4) = %v", p)
+		}
+	}
+	if _, err := New([]int{1, 1, 3}); err == nil {
+		t.Error("duplicate priority accepted")
+	}
+	if _, err := New([]int{0, 1, 2}); err == nil {
+		t.Error("priority 0 accepted")
+	}
+	if _, err := New([]int{1, 2, 4}); err == nil {
+		t.Error("out-of-range priority accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("empty permutation accepted")
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	in := []int{2, 1, 3}
+	p, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0] = 99
+	if p[0] != 2 {
+		t.Fatal("New aliases caller slice")
+	}
+}
+
+func TestInverseAndLinkAtPriority(t *testing.T) {
+	p, _ := New([]int{2, 4, 1, 3}) // link0→pr2, link1→pr4, link2→pr1, link3→pr3
+	inv := p.Inverse()
+	want := []int{2, 0, 3, 1}
+	for i := range want {
+		if inv[i] != want[i] {
+			t.Fatalf("Inverse = %v, want %v", inv, want)
+		}
+	}
+	for pr := 1; pr <= 4; pr++ {
+		if got := p.LinkAtPriority(pr); got != want[pr-1] {
+			t.Fatalf("LinkAtPriority(%d) = %d, want %d", pr, got, want[pr-1])
+		}
+	}
+}
+
+func TestSymmetricDifferencePaperExample(t *testing.T) {
+	// Example 1 of the paper: σ = [2,1,4,3], σ' = [2,4,1,3]; σ△σ' = {2,3}
+	// in the paper's 1-indexed links, i.e. links {1, 2} in 0-indexed form.
+	sigma, _ := New([]int{2, 1, 4, 3})
+	sigmaP, _ := New([]int{2, 4, 1, 3})
+	diff := sigma.SymmetricDifference(sigmaP)
+	if len(diff) != 2 || diff[0] != 1 || diff[1] != 2 {
+		t.Fatalf("symmetric difference = %v, want [1 2]", diff)
+	}
+	// Note: the example's "(2,3)" names the two changed positions. The
+	// exchanged priority VALUES there are 1 and 4, so under Definition 8's
+	// value-adjacency — the convention the DP protocol itself uses (only
+	// priorities C and C+1 ever swap) — this particular pair is NOT an
+	// adjacent transposition, and the recognizer must say so.
+	if _, ok := sigma.AsAdjacentTransposition(sigmaP); ok {
+		t.Fatal("value-distance-3 exchange recognized as adjacent transposition")
+	}
+}
+
+func TestAsAdjacentTransposition(t *testing.T) {
+	p := Identity(4)
+	q := p.SwapAtPriority(2) // swap links holding priorities 2 and 3
+	swap, ok := p.AsAdjacentTransposition(q)
+	if !ok {
+		t.Fatal("adjacent swap not recognized")
+	}
+	if swap.Down != 1 || swap.Up != 2 || swap.Priority != 2 {
+		t.Fatalf("swap = %+v, want Down=1 Up=2 Priority=2", swap)
+	}
+	// Non-adjacent exchange must be rejected.
+	far := p.Clone()
+	far[0], far[3] = 4, 1
+	if _, ok := p.AsAdjacentTransposition(far); ok {
+		t.Fatal("non-adjacent exchange recognized as adjacent")
+	}
+	// Identical permutations are not a transposition.
+	if _, ok := p.AsAdjacentTransposition(p.Clone()); ok {
+		t.Fatal("identity recognized as transposition")
+	}
+}
+
+func TestSwapAtPriorityPanicsOutOfRange(t *testing.T) {
+	p := Identity(3)
+	for _, c := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SwapAtPriority(%d) did not panic", c)
+				}
+			}()
+			p.SwapAtPriority(c)
+		}()
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		total := Factorial(n)
+		seen := make([]bool, total)
+		for r := 0; r < total; r++ {
+			p, err := Unrank(n, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !p.Valid() {
+				t.Fatalf("Unrank(%d, %d) = %v invalid", n, r, p)
+			}
+			got := p.Rank()
+			if got != r {
+				t.Fatalf("Rank(Unrank(%d, %d)) = %d", n, r, got)
+			}
+			if seen[got] {
+				t.Fatalf("duplicate rank %d", got)
+			}
+			seen[got] = true
+		}
+	}
+}
+
+func TestUnrankRejectsBadRank(t *testing.T) {
+	if _, err := Unrank(3, -1); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := Unrank(3, 6); err == nil {
+		t.Error("rank == n! accepted")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	ps, err := Enumerate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 24 {
+		t.Fatalf("Enumerate(4) returned %d permutations", len(ps))
+	}
+	for r, p := range ps {
+		if p.Rank() != r {
+			t.Fatalf("Enumerate order broken at %d", r)
+		}
+	}
+	if _, err := Enumerate(10); err == nil {
+		t.Error("Enumerate(10) accepted")
+	}
+	if _, err := Enumerate(0); err == nil {
+		t.Error("Enumerate(0) accepted")
+	}
+}
+
+func TestG(t *testing.T) {
+	if G(5, 1) != 4 || G(5, 5) != 0 {
+		t.Fatalf("G boundary values wrong: %d %d", G(5, 1), G(5, 5))
+	}
+	if G(5, 0) != 0 || G(5, 6) != 0 {
+		t.Fatal("G outside support must be 0")
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := []int{1, 1, 2, 6, 24, 120, 720}
+	for n, w := range want {
+		if got := Factorial(n); got != w {
+			t.Fatalf("Factorial(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+// Property: SwapAtPriority is an involution and changes exactly two links.
+func TestSwapInvolutionProperty(t *testing.T) {
+	prop := func(rank uint16, cRaw uint8) bool {
+		n := 5
+		p, err := Unrank(n, int(rank)%Factorial(n))
+		if err != nil {
+			return false
+		}
+		c := int(cRaw)%(n-1) + 1
+		q := p.SwapAtPriority(c)
+		if len(p.SymmetricDifference(q)) != 2 {
+			return false
+		}
+		return q.SwapAtPriority(c).Equal(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Inverse twice round-trips through LinkAtPriority.
+func TestInverseProperty(t *testing.T) {
+	prop := func(rank uint16) bool {
+		n := 6
+		p, err := Unrank(n, int(rank)%Factorial(n))
+		if err != nil {
+			return false
+		}
+		inv := p.Inverse()
+		for pr := 1; pr <= n; pr++ {
+			if p[inv[pr-1]] != pr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainRowSumsAndAperiodicity(t *testing.T) {
+	mu := []float64{0.3, 0.5, 0.7, 0.9}
+	chain, err := NewChain(mu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chain.RowSumError(); got > 1e-12 {
+		t.Fatalf("row sum error %v", got)
+	}
+	if !chain.Aperiodic() {
+		t.Fatal("chain has no self-loop")
+	}
+}
+
+func TestChainIrreducible(t *testing.T) {
+	// Lemma 4: with µ ∈ (0,1) and txProb > 0 the chain is irreducible.
+	chain, err := NewChain([]float64{0.2, 0.5, 0.8}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chain.Irreducible() {
+		t.Fatal("chain with positive swap probabilities not irreducible")
+	}
+	// With txProb = 0 nothing ever swaps: reducible.
+	frozen, err := NewChain([]float64{0.2, 0.5, 0.8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.Irreducible() {
+		t.Fatal("frozen chain reported irreducible")
+	}
+}
+
+func TestStationaryDetailedBalance(t *testing.T) {
+	// Proposition 2: the closed form satisfies detailed balance against the
+	// Eq. 9 transition matrix for any txProb (it cancels pairwise).
+	mu := []float64{0.25, 0.5, 0.65, 0.8}
+	for _, txProb := range []float64{1.0, 0.7} {
+		chain, err := NewChain(mu, txProb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := StationaryFromMu(mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viol, err := chain.DetailedBalanceError(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viol > 1e-12 {
+			t.Fatalf("txProb=%v: detailed balance violation %v", txProb, viol)
+		}
+	}
+}
+
+func TestStationaryMatchesPowerIteration(t *testing.T) {
+	mu := []float64{0.3, 0.6, 0.85}
+	chain, err := NewChain(mu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := StationaryFromMu(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterated := chain.StationaryByPower(1e-14, 200000)
+	tv, err := TotalVariation(closed, iterated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > 1e-9 {
+		t.Fatalf("closed form vs power iteration TV distance %v", tv)
+	}
+}
+
+func TestStationarySumsToOne(t *testing.T) {
+	pi, err := StationaryFromMu([]float64{0.1, 0.2, 0.3, 0.4, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range pi {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("stationary distribution sums to %v", sum)
+	}
+}
+
+func TestEqualMuGivesUniformStationary(t *testing.T) {
+	// When every link has the same µ, all orderings are equally likely.
+	pi, err := StationaryFromMu([]float64{0.4, 0.4, 0.4, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 24
+	for r, v := range pi {
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("π[%d] = %v, want uniform %v", r, v, want)
+		}
+	}
+}
+
+func TestStationaryFavorsHighMu(t *testing.T) {
+	// A link with larger µ should hold priority 1 more often.
+	mu := []float64{0.2, 0.5, 0.9}
+	pi, err := StationaryFromMu(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := PriorityMarginals(3, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(marg[2][0] > marg[1][0] && marg[1][0] > marg[0][0]) {
+		t.Fatalf("P{top priority} = %v %v %v, want increasing in µ",
+			marg[0][0], marg[1][0], marg[2][0])
+	}
+	// Marginals are distributions.
+	for link := range marg {
+		sum := 0.0
+		for _, v := range marg[link] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("link %d marginal sums to %v", link, sum)
+		}
+	}
+}
+
+func TestStationaryFromWeightsMatchesMuForm(t *testing.T) {
+	// Proposition 3 is Proposition 2 with µ from Eq. 14. With weights w_n
+	// and R, µ/(1−µ) = exp(w)/R, and the R factors cancel: the two closed
+	// forms must coincide.
+	weights := []float64{1.2, 0.4, 2.0}
+	const R = 10.0
+	mu := make([]float64, len(weights))
+	for i, w := range weights {
+		e := math.Exp(w)
+		mu[i] = e / (R + e)
+	}
+	fromMu, err := StationaryFromMu(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromW, err := StationaryFromWeights(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := TotalVariation(fromMu, fromW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > 1e-12 {
+		t.Fatalf("Eq.10 and Eq.15 closed forms differ: TV = %v", tv)
+	}
+}
+
+func TestStationaryFromWeightsHandlesLargeWeights(t *testing.T) {
+	// Log-space computation must survive weights that would overflow exp.
+	pi, err := StationaryFromWeights([]float64{500, 800, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range pi {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite stationary probability")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sums to %v", sum)
+	}
+	// The ordering by weight [1]>[0]>[2] should dominate: its probability
+	// must be essentially 1.
+	states, _ := Enumerate(3)
+	best := 0.0
+	var bestState Permutation
+	for r, v := range pi {
+		if v > best {
+			best, bestState = v, states[r]
+		}
+	}
+	if bestState[1] != 1 || bestState[0] != 2 || bestState[2] != 3 {
+		t.Fatalf("dominant ordering %v, want [2 1 3]", bestState)
+	}
+	if best < 0.999 {
+		t.Fatalf("dominant ordering mass %v, want ≈1", best)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := NewChain([]float64{0.5}, 1); err == nil {
+		t.Error("single-link chain accepted")
+	}
+	if _, err := NewChain([]float64{0.5, 1.0}, 1); err == nil {
+		t.Error("µ = 1 accepted")
+	}
+	if _, err := NewChain([]float64{0.5, 0.5}, 1.5); err == nil {
+		t.Error("txProb > 1 accepted")
+	}
+	if _, err := StationaryFromMu([]float64{0.5}); err == nil {
+		t.Error("single-link stationary accepted")
+	}
+	if _, err := StationaryFromWeights([]float64{1}); err == nil {
+		t.Error("single-link weights accepted")
+	}
+	if _, err := TotalVariation([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("mismatched TV inputs accepted")
+	}
+}
+
+// Property: detailed balance of the closed form holds for random µ vectors.
+func TestDetailedBalanceProperty(t *testing.T) {
+	prop := func(raw [4]uint8) bool {
+		mu := make([]float64, 4)
+		for i, r := range raw {
+			mu[i] = (float64(r%200) + 1) / 202 // in (0, 1)
+		}
+		chain, err := NewChain(mu, 1)
+		if err != nil {
+			return false
+		}
+		pi, err := StationaryFromMu(mu)
+		if err != nil {
+			return false
+		}
+		viol, err := chain.DetailedBalanceError(pi)
+		return err == nil && viol < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

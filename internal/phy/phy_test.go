@@ -1,0 +1,132 @@
+package phy
+
+import (
+	"testing"
+
+	"rtmac/internal/sim"
+)
+
+func TestFrameAirtimeKnownValues(t *testing.T) {
+	// 1536 B PSDU at 54 Mbps: 12310 bits / 216 bits-per-symbol = 57 symbols
+	// => 20 + 228 = 248 µs.
+	if got := FrameAirtime(1536, 54); got != 248 {
+		t.Errorf("FrameAirtime(1536, 54) = %v, want 248", got)
+	}
+	// ACK: 14 B => 134 bits / 96 bits-per-symbol (24 Mbps) = 2 symbols => 28 µs.
+	if got := FrameAirtime(ACKBytes, 24); got != 28 {
+		t.Errorf("ACK airtime = %v, want 28", got)
+	}
+	// Zero-byte PSDU still costs preamble + 1 symbol.
+	if got := FrameAirtime(0, 54); got != PLCPOverhead+OFDMSymbol {
+		t.Errorf("FrameAirtime(0, 54) = %v, want %v", got, PLCPOverhead+OFDMSymbol)
+	}
+}
+
+func TestExchangeAirtimeMatchesPaperVideoFigure(t *testing.T) {
+	// The paper says a 1500 B packet plus ACK is "roughly 330 µs" at 54 Mbps.
+	got := ExchangeAirtime(1500, 54)
+	if got < 300 || got > 360 {
+		t.Errorf("ExchangeAirtime(1500, 54) = %v, want within [300, 360] (paper: ~330)", got)
+	}
+}
+
+func TestExchangeAirtimeMatchesPaperControlFigure(t *testing.T) {
+	// 100 B control packet plus ACK is "roughly 120 µs".
+	got := ExchangeAirtime(100, 54)
+	if got < 100 || got > 140 {
+		t.Errorf("ExchangeAirtime(100, 54) = %v, want within [100, 140] (paper: ~120)", got)
+	}
+}
+
+func TestEmptyFrameMatchesPaperFigure(t *testing.T) {
+	// "the transmission time of a packet with no payload plus the required
+	// interframe spacing is about 70 µs".
+	got := Custom("x", 0, 54, sim.Millisecond).EmptyAirtime
+	if got < 50 || got > 90 {
+		t.Errorf("empty frame airtime = %v, want within [50, 90] (paper: ~70)", got)
+	}
+}
+
+func TestFrameAirtimePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative size": func() { FrameAirtime(-1, 54) },
+		"zero rate":     func() { FrameAirtime(100, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestProfilePresets(t *testing.T) {
+	tests := []struct {
+		profile       Profile
+		wantSlots     int
+		wantData      sim.Time
+		wantInterval  sim.Time
+		wantEmptyCost sim.Time
+	}{
+		{Video(), 60, 330, 20 * sim.Millisecond, 70},
+		{Control(), 16, 120, 2 * sim.Millisecond, 70},
+	}
+	for _, tc := range tests {
+		t.Run(tc.profile.Name, func(t *testing.T) {
+			if err := tc.profile.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got := tc.profile.SlotsPerInterval(); got != tc.wantSlots {
+				t.Errorf("SlotsPerInterval = %d, want %d", got, tc.wantSlots)
+			}
+			if tc.profile.DataAirtime != tc.wantData {
+				t.Errorf("DataAirtime = %v, want %v", tc.profile.DataAirtime, tc.wantData)
+			}
+			if tc.profile.Interval != tc.wantInterval {
+				t.Errorf("Interval = %v, want %v", tc.profile.Interval, tc.wantInterval)
+			}
+			if tc.profile.EmptyAirtime != tc.wantEmptyCost {
+				t.Errorf("EmptyAirtime = %v, want %v", tc.profile.EmptyAirtime, tc.wantEmptyCost)
+			}
+			if tc.profile.Slot != SlotTime {
+				t.Errorf("Slot = %v, want %v", tc.profile.Slot, SlotTime)
+			}
+		})
+	}
+}
+
+func TestProfileValidateRejectsBadProfiles(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Profile
+	}{
+		{"zero slot", Profile{Name: "x", DataAirtime: 100, EmptyAirtime: 10, Interval: 1000}},
+		{"zero data airtime", Profile{Name: "x", Slot: 9, EmptyAirtime: 10, Interval: 1000}},
+		{"zero empty airtime", Profile{Name: "x", Slot: 9, DataAirtime: 100, Interval: 1000}},
+		{"interval too short", Profile{Name: "x", Slot: 9, DataAirtime: 100, EmptyAirtime: 10, Interval: 50}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(); err == nil {
+				t.Fatal("Validate accepted an invalid profile")
+			}
+		})
+	}
+}
+
+func TestCustomProfileIsValid(t *testing.T) {
+	p := Custom("sensor", 200, 54, 5*sim.Millisecond)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.SlotsPerInterval() <= 0 {
+		t.Fatal("custom profile fits no transmissions")
+	}
+	if p.EmptyAirtime >= p.DataAirtime {
+		t.Errorf("empty frame (%v) should cost less than a data exchange (%v)",
+			p.EmptyAirtime, p.DataAirtime)
+	}
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Timer is a handle to a scheduled event. It can be cancelled as long as the
+// event has not yet fired.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // position in the heap, -1 once removed
+	cancelled bool
+}
+
+// At returns the instant the timer is scheduled to fire.
+func (t *Timer) At() Time { return t.at }
+
+// Cancelled reports whether Cancel was called before the timer fired.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// eventQueue is a min-heap ordered by (at, seq) so that events scheduled for
+// the same instant fire in FIFO order. Deterministic ordering of simultaneous
+// events is essential for reproducible runs.
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}
+
+// Engine is a sequential discrete-event simulator. It is not safe for
+// concurrent use; run one engine per goroutine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	seed    uint64
+	streams map[string]*RNG
+	fired   uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero. All randomness
+// drawn through RNG streams is derived deterministically from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		seed:    seed,
+		streams: make(map[string]*RNG),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() uint64 { return e.seed }
+
+// EventsFired returns the number of events executed so far, a cheap progress
+// and performance counter.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ScheduleAt registers fn to run at instant at. Scheduling in the past
+// panics: it always indicates a protocol bug, never a recoverable condition.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil function")
+	}
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, t)
+	return t
+}
+
+// After registers fn to run d after the current instant.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	return e.ScheduleAt(e.now+d, fn)
+}
+
+// Cancel removes a scheduled timer. It returns false if the timer already
+// fired or was already cancelled.
+func (e *Engine) Cancel(t *Timer) bool {
+	if t == nil || t.cancelled || t.index < 0 {
+		return false
+	}
+	t.cancelled = true
+	heap.Remove(&e.queue, t.index)
+	return true
+}
+
+// Step executes the single earliest pending event. It reports whether an
+// event was available.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	t := heap.Pop(&e.queue).(*Timer)
+	e.now = t.at
+	e.fired++
+	t.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with firing times not later than deadline, then
+// advances the clock to deadline. Events scheduled after deadline remain
+// pending.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RNG returns the named deterministic random stream, creating it on first
+// use. Streams with distinct names are statistically independent, and a
+// stream's sequence depends only on (engine seed, name), never on the order
+// in which other streams are used.
+func (e *Engine) RNG(name string) *RNG {
+	if r, ok := e.streams[name]; ok {
+		return r
+	}
+	r := NewRNG(deriveSeed(e.seed, name))
+	e.streams[name] = r
+	return r
+}

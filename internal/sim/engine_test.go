@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFIFOForSimultaneousEvents(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.ScheduleAt(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("event %d fired out of order: got position of %d", i, got)
+		}
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine(1)
+	var order []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		e.ScheduleAt(at, func() { order = append(order, at) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	timer := e.ScheduleAt(10, func() { fired = true })
+	if !e.Cancel(timer) {
+		t.Fatal("first Cancel returned false")
+	}
+	if e.Cancel(timer) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !timer.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	timers := make([]*Timer, 20)
+	for i := 0; i < 20; i++ {
+		i := i
+		timers[i] = e.ScheduleAt(Time(i), func() { fired = append(fired, i) })
+	}
+	for i := 0; i < 20; i += 2 {
+		e.Cancel(timers[i])
+	}
+	e.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10", len(fired))
+	}
+	for _, i := range fired {
+		if i%2 == 0 {
+			t.Fatalf("cancelled event %d fired", i)
+		}
+	}
+}
+
+func TestEngineSchedulingFromWithinEvents(t *testing.T) {
+	e := NewEngine(1)
+	var trace []Time
+	e.ScheduleAt(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+		e.ScheduleAt(12, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 12, 15}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.ScheduleAt(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Fatalf("fired = %v, want [5 10]", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now() = %v, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired = %v, want all four", fired)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.ScheduleAt(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(5, func() {})
+}
+
+func TestEngineDeterminismAcrossRuns(t *testing.T) {
+	run := func() []uint64 {
+		e := NewEngine(42)
+		var draws []uint64
+		for i := 0; i < 16; i++ {
+			draws = append(draws, e.RNG("a").Uint64(), e.RNG("b").Uint64())
+		}
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical runs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineRNGStreamsIndependentOfCreationOrder(t *testing.T) {
+	e1 := NewEngine(7)
+	e1.RNG("x")
+	firstY := e1.RNG("y").Uint64()
+
+	e2 := NewEngine(7)
+	gotY := e2.RNG("y").Uint64() // "y" created first this time
+	if firstY != gotY {
+		t.Fatalf("stream y depends on creation order: %d vs %d", firstY, gotY)
+	}
+}
+
+func TestEngineRNGStreamsDiffer(t *testing.T) {
+	e := NewEngine(7)
+	if e.RNG("x").Uint64() == e.RNG("y").Uint64() {
+		t.Fatal("streams x and y produced identical first draws (suspicious)")
+	}
+}
+
+func TestEngineEventsFired(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.ScheduleAt(Time(i), func() {})
+	}
+	e.Run()
+	if e.EventsFired() != 5 {
+		t.Fatalf("EventsFired() = %d, want 5", e.EventsFired())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	tests := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0us"},
+		{9, "9us"},
+		{Millisecond, "1ms"},
+		{20 * Millisecond, "20ms"},
+		{3 * Second, "3s"},
+		{Never, "never"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(tc.in), got, tc.want)
+		}
+	}
+}
+
+// Property: for any batch of scheduling instants, the engine fires events in
+// nondecreasing time order and ends with the clock at the maximum instant.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		e := NewEngine(1)
+		var fired []Time
+		var maxAt Time
+		for _, off := range offsets {
+			at := Time(off)
+			if at > maxAt {
+				maxAt = at
+			}
+			e.ScheduleAt(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(offsets) == 0 || e.Now() == maxAt
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

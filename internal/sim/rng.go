@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random source. It wraps a PCG generator and adds the
+// distributions the protocols in this repository need. A nil-free zero value
+// is deliberately not provided: always construct through NewRNG or
+// Engine.RNG so that every random draw is tied to an explicit seed.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// deriveSeed maps (seed, name) to a stream seed using FNV-1a, so that named
+// streams are stable regardless of creation order.
+func deriveSeed(seed uint64, name string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// IntN returns a uniform sample in {0, ..., n-1}. It panics if n <= 0.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Bernoulli returns true with probability p. Probabilities outside [0, 1]
+// are clamped, which lets callers pass computed biases without defensive
+// code.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Uint64 returns a uniform 64-bit sample.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// Perm returns a uniform random permutation of {0, ..., n-1}.
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Binomial returns the number of successes in n Bernoulli(p) trials.
+func (r *RNG) Binomial(n int, p float64) int {
+	successes := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			successes++
+		}
+	}
+	return successes
+}
+
+// Geometric returns the number of Bernoulli(p) trials up to and including the
+// first success (support {1, 2, ...}). It panics if p <= 0 because the
+// expectation would be unbounded.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 {
+		panic("sim: Geometric requires p > 0")
+	}
+	trials := 1
+	for !r.Bernoulli(p) {
+		trials++
+	}
+	return trials
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := NewRNG(2)
+	const n = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) empirical mean %v", p, got)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(3)
+	const n = 100000
+	for _, p := range []float64{0.3, 0.7, 1.0} {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Geometric(p)
+		}
+		got := float64(sum) / n
+		want := 1 / p
+		if math.Abs(got-want) > 0.05*want+0.01 {
+			t.Errorf("Geometric(%v) empirical mean %v, want ~%v", p, got, want)
+		}
+	}
+}
+
+func TestGeometricPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	NewRNG(1).Geometric(0)
+}
+
+func TestBinomialBounds(t *testing.T) {
+	r := NewRNG(4)
+	prop := func(seed uint8) bool {
+		n := int(seed%20) + 1
+		k := r.Binomial(n, 0.5)
+		return k >= 0 && k <= n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.Binomial(50, 0) != 0 {
+		t.Fatal("Binomial(n, 0) != 0")
+	}
+	if r.Binomial(50, 1) != 50 {
+		t.Fatal("Binomial(n, 1) != n")
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	r := NewRNG(5)
+	const trials = 20000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += r.Binomial(10, 0.3)
+	}
+	got := float64(sum) / trials
+	if math.Abs(got-3.0) > 0.1 {
+		t.Errorf("Binomial(10, 0.3) empirical mean %v, want ~3", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(6)
+	for n := 0; n < 12; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.IntN(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("IntN(5) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("IntN(5) over 1000 draws produced only values %v", seen)
+	}
+}
+
+func TestDeriveSeedStableAndSensitive(t *testing.T) {
+	if deriveSeed(1, "a") != deriveSeed(1, "a") {
+		t.Fatal("deriveSeed is not deterministic")
+	}
+	if deriveSeed(1, "a") == deriveSeed(1, "b") {
+		t.Fatal("deriveSeed ignores name")
+	}
+	if deriveSeed(1, "a") == deriveSeed(2, "a") {
+		t.Fatal("deriveSeed ignores seed")
+	}
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rtmac/internal/medium"
+	"rtmac/internal/sim"
+)
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestRecorderCapturesTransmissions(t *testing.T) {
+	eng := sim.NewEngine(1)
+	med, err := medium.New(eng, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecorder(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Attach(med)
+	med.Start(0, 100, false, nil)
+	eng.ScheduleAt(150, func() { med.Start(1, 70, true, nil) })
+	eng.Run()
+	records := rec.Records()
+	if len(records) != 2 || rec.Total() != 2 {
+		t.Fatalf("got %d records (total %d), want 2", len(records), rec.Total())
+	}
+	if records[0].Link != 0 || records[0].Start != 0 || records[0].End != 100 ||
+		records[0].Empty || records[0].Outcome != medium.Delivered {
+		t.Fatalf("record 0 = %+v", records[0])
+	}
+	if records[1].Link != 1 || !records[1].Empty {
+		t.Fatalf("record 1 = %+v", records[1])
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	rec, _ := NewRecorder(3)
+	for i := 0; i < 7; i++ {
+		rec.add(Record{Link: i})
+	}
+	records := rec.Records()
+	if len(records) != 3 || rec.Total() != 7 {
+		t.Fatalf("got %d records, total %d", len(records), rec.Total())
+	}
+	for i, want := range []int{4, 5, 6} {
+		if records[i].Link != want {
+			t.Fatalf("records = %+v, want links 4,5,6 in order", records)
+		}
+	}
+}
+
+func TestWriteLog(t *testing.T) {
+	rec, _ := NewRecorder(4)
+	rec.add(Record{Link: 2, Start: 10, End: 110, Outcome: medium.Delivered})
+	rec.add(Record{Link: 3, Start: 120, End: 190, Empty: true, Outcome: medium.Delivered})
+	var buf bytes.Buffer
+	if err := rec.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"link  2", "link  3", "data", "empty", "delivered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	records := []Record{
+		{Link: 0, Start: 0, End: 100, Outcome: medium.Delivered},
+		{Link: 1, Start: 110, End: 210, Outcome: medium.Lost},
+		{Link: 0, Start: 220, End: 290, Empty: true, Outcome: medium.Delivered},
+		{Link: 2, Start: 300, End: 400, Outcome: medium.Collided},
+	}
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, records, 0, 400, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"link  0", "link  1", "link  2", "D", "x", "e", "C", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Lane 1 must contain 'x' but no 'D'.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "link  1") && strings.Contains(line, "D") {
+			t.Fatalf("lane 1 contains a delivery: %s", line)
+		}
+	}
+}
+
+func TestRenderTimelineValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, nil, 0, 100, 40); err == nil {
+		t.Fatal("no records accepted")
+	}
+	if err := RenderTimeline(&buf, []Record{{Link: 0}}, 100, 100, 40); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestRenderTimelineClipsOutOfWindow(t *testing.T) {
+	records := []Record{
+		{Link: 0, Start: 0, End: 50, Outcome: medium.Delivered},    // before window
+		{Link: 0, Start: 500, End: 600, Outcome: medium.Delivered}, // after window
+		{Link: 0, Start: 90, End: 210, Outcome: medium.Delivered},  // straddles start
+	}
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, records, 100, 400, 30); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "D") {
+		t.Fatalf("straddling record not drawn:\n%s", out)
+	}
+}

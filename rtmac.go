@@ -1,0 +1,282 @@
+// Package rtmac is a simulation library for real-time wireless MAC protocols
+// with per-packet deadlines over unreliable channels, reproducing
+// "A Decentralized Medium Access Protocol for Real-Time Wireless Ad Hoc
+// Networks With Unreliable Transmissions" (Hsieh & Hou, ICDCS 2018).
+//
+// The package simulates a fully-interfering wireless network at microsecond
+// resolution: N links share one channel; packets arrive at interval
+// boundaries and expire at the next boundary; transmissions collide when
+// they overlap and otherwise succeed with per-link probability p_n.
+//
+// Four medium-access policies are provided:
+//
+//   - DBDP — the paper's contribution: a fully decentralized priority-based
+//     protocol using collision-free backoff and carrier sensing, with
+//     debt-driven Glauber reordering (feasibility-optimal).
+//   - LDF/ELDF — the centralized feasibility-optimal comparator.
+//   - FCSMA — the discretized debt-driven random-access baseline.
+//   - DCF — 802.11-style binary-exponential-backoff CSMA/CA.
+//
+// A minimal session:
+//
+//	links := make([]rtmac.Link, 10)
+//	for i := range links {
+//		links[i] = rtmac.Link{
+//			SuccessProb:   0.7,
+//			Arrivals:      rtmac.MustBernoulliArrivals(0.78),
+//			DeliveryRatio: 0.99,
+//		}
+//	}
+//	sim, err := rtmac.NewSimulation(rtmac.Config{
+//		Seed:     1,
+//		Profile:  rtmac.ControlProfile(),
+//		Links:    links,
+//		Protocol: rtmac.DBDP(),
+//	})
+//	if err != nil { ... }
+//	if err := sim.Run(20000); err != nil { ... }
+//	fmt.Println(sim.Report())
+package rtmac
+
+import (
+	"fmt"
+
+	"rtmac/internal/arrival"
+	"rtmac/internal/mac"
+	"rtmac/internal/medium"
+	"rtmac/internal/metrics"
+	"rtmac/internal/phy"
+	"rtmac/internal/sim"
+)
+
+// Link configures one wireless link.
+type Link struct {
+	// SuccessProb is p_n ∈ (0, 1]: the probability a non-interfered
+	// transmission is delivered.
+	SuccessProb float64
+	// Arrivals generates the link's per-interval packet arrivals.
+	Arrivals Arrivals
+	// DeliveryRatio is the required fraction ρ_n of arrivals that must be
+	// delivered on time; the timely-throughput requirement is
+	// q_n = ρ_n · λ_n. Mutually exclusive with Required.
+	DeliveryRatio float64
+	// Required sets q_n directly (packets per interval). Used when nonzero;
+	// otherwise DeliveryRatio applies.
+	Required float64
+}
+
+func (l Link) required() (float64, error) {
+	switch {
+	case l.Required < 0:
+		return 0, fmt.Errorf("rtmac: negative requirement %v", l.Required)
+	case l.Required > 0 && l.DeliveryRatio > 0:
+		return 0, fmt.Errorf("rtmac: set either Required or DeliveryRatio, not both")
+	case l.Required > 0:
+		return l.Required, nil
+	case l.DeliveryRatio < 0 || l.DeliveryRatio > 1:
+		return 0, fmt.Errorf("rtmac: delivery ratio %v outside [0, 1]", l.DeliveryRatio)
+	default:
+		return l.DeliveryRatio * l.Arrivals.proc.Mean(), nil
+	}
+}
+
+// Fading replaces the static per-link reliability with a network-wide
+// Gilbert–Elliott model: every link hops independently between a Good and a
+// Bad state (reliabilities PGood/PBad), flipping with the given per-Period
+// probabilities. When set, the per-link SuccessProb fields are ignored —
+// every link's long-run mean reliability is the model's stationary mean.
+type Fading struct {
+	PGood, PBad          float64
+	GoodToBad, BadToGood float64
+	Period               Time
+}
+
+// Mean returns the stationary mean reliability of the fading model.
+func (f Fading) Mean() float64 {
+	pBad := f.GoodToBad / (f.GoodToBad + f.BadToGood)
+	return (1-pBad)*f.PGood + pBad*f.PBad
+}
+
+// Config assembles one simulation.
+type Config struct {
+	// Seed makes the run reproducible; two simulations with equal seeds and
+	// configurations produce identical trajectories.
+	Seed uint64
+	// Profile sets PHY timing: slot, airtimes, and the interval/deadline.
+	Profile Profile
+	// Links lists the N links sharing the channel.
+	Links []Link
+	// Protocol is the medium-access policy under test.
+	Protocol Protocol
+	// SnapshotEvery, when positive, records convergence snapshots each
+	// given number of intervals (see Simulation.Snapshots).
+	SnapshotEvery int
+	// Fading, when non-nil, replaces the static channel with a
+	// Gilbert–Elliott fading model (per-link SuccessProb is then ignored).
+	Fading *Fading
+}
+
+// Simulation is one running network instance.
+type Simulation struct {
+	nw              *mac.Network
+	col             *metrics.Collector
+	req             []float64
+	prot            mac.Protocol
+	profileInterval sim.Time
+}
+
+// NewSimulation validates cfg and builds the network.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	if len(cfg.Links) == 0 {
+		return nil, fmt.Errorf("rtmac: no links configured")
+	}
+	if cfg.Protocol.build == nil {
+		return nil, fmt.Errorf("rtmac: no protocol configured")
+	}
+	if cfg.Profile.p.Name == "" {
+		return nil, fmt.Errorf("rtmac: no profile configured (use VideoProfile, ControlProfile or CustomProfile)")
+	}
+	n := len(cfg.Links)
+	probs := make([]float64, n)
+	req := make([]float64, n)
+	procs := make([]arrival.Process, n)
+	for i, l := range cfg.Links {
+		if l.Arrivals.proc == nil {
+			return nil, fmt.Errorf("rtmac: link %d has no arrival process", i)
+		}
+		q, err := l.required()
+		if err != nil {
+			return nil, fmt.Errorf("rtmac: link %d: %w", i, err)
+		}
+		probs[i] = l.SuccessProb
+		req[i] = q
+		procs[i] = l.Arrivals.proc
+	}
+	av, err := arrival.NewIndependent(procs...)
+	if err != nil {
+		return nil, fmt.Errorf("rtmac: %w", err)
+	}
+	var colOpts []metrics.Option
+	if cfg.SnapshotEvery > 0 {
+		colOpts = append(colOpts, metrics.WithSeries(cfg.SnapshotEvery))
+	}
+	col, err := metrics.NewCollector(req, colOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("rtmac: %w", err)
+	}
+	prot, err := cfg.Protocol.build(n)
+	if err != nil {
+		return nil, fmt.Errorf("rtmac: %w", err)
+	}
+	nwCfg := mac.NetworkConfig{
+		Seed:      cfg.Seed,
+		Profile:   cfg.Profile.p,
+		Arrivals:  av,
+		Required:  req,
+		Protocol:  prot,
+		Observers: []mac.Observer{col},
+	}
+	if cfg.Fading != nil {
+		f := *cfg.Fading
+		nwCfg.ChannelFactory = func(eng *sim.Engine, links int) (medium.Model, error) {
+			return medium.NewGilbertElliott(eng, links, f.PGood, f.PBad,
+				f.GoodToBad, f.BadToGood, f.Period)
+		}
+	} else {
+		nwCfg.SuccessProb = probs
+	}
+	nw, err := mac.NewNetwork(nwCfg)
+	if err != nil {
+		return nil, fmt.Errorf("rtmac: %w", err)
+	}
+	return &Simulation{
+		nw:              nw,
+		col:             col,
+		req:             req,
+		prot:            prot,
+		profileInterval: cfg.Profile.p.Interval,
+	}, nil
+}
+
+// Run simulates the given number of additional intervals; it can be called
+// repeatedly to extend the same run.
+func (s *Simulation) Run(intervals int) error {
+	return s.nw.Run(intervals)
+}
+
+// Intervals returns the number of completed intervals.
+func (s *Simulation) Intervals() int64 { return s.nw.Intervals() }
+
+// Now returns the current simulated time.
+func (s *Simulation) Now() sim.Time { return s.nw.Engine().Now() }
+
+// Snapshots returns the recorded convergence checkpoints (empty unless
+// Config.SnapshotEvery was set).
+func (s *Simulation) Snapshots() []Snapshot {
+	raw := s.col.Series()
+	out := make([]Snapshot, len(raw))
+	for i, r := range raw {
+		out[i] = Snapshot{
+			Intervals:  r.Intervals,
+			Cumulative: append([]float64(nil), r.Throughput...),
+			Windowed:   append([]float64(nil), r.Windowed...),
+		}
+	}
+	return out
+}
+
+// Snapshot is one convergence checkpoint: per-link timely-throughput, both
+// cumulative since time zero and windowed since the previous checkpoint.
+type Snapshot struct {
+	Intervals  int64
+	Cumulative []float64
+	Windowed   []float64
+}
+
+// Profile wraps the PHY timing parameters.
+type Profile struct {
+	p phy.Profile
+}
+
+// VideoProfile returns the paper's real-time video scenario: 1500 B packets
+// at 54 Mbps (≈330 µs per exchange) with a 20 ms deadline.
+func VideoProfile() Profile { return Profile{p: phy.Video()} }
+
+// ControlProfile returns the paper's ultra-low-latency control scenario:
+// 100 B packets (≈120 µs per exchange) with a 2 ms deadline.
+func ControlProfile() Profile { return Profile{p: phy.Control()} }
+
+// CustomProfile computes a profile from first principles for the given
+// payload size, PHY rate and deadline.
+func CustomProfile(name string, payloadBytes int, rateMbps float64, deadline sim.Time) (Profile, error) {
+	if payloadBytes < 0 {
+		return Profile{}, fmt.Errorf("rtmac: negative payload size %d", payloadBytes)
+	}
+	if rateMbps <= 0 {
+		return Profile{}, fmt.Errorf("rtmac: non-positive PHY rate %v Mbps", rateMbps)
+	}
+	if deadline <= 0 {
+		return Profile{}, fmt.Errorf("rtmac: non-positive deadline %v", deadline)
+	}
+	p := phy.Custom(name, payloadBytes, rateMbps, deadline)
+	if err := p.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("rtmac: %w", err)
+	}
+	return Profile{p: p}, nil
+}
+
+// SlotsPerInterval returns how many data exchanges fit in one interval under
+// a contention-free schedule.
+func (p Profile) SlotsPerInterval() int { return p.p.SlotsPerInterval() }
+
+// Interval returns the deadline T.
+func (p Profile) Interval() sim.Time { return p.p.Interval }
+
+// Millisecond re-exports the simulated-time unit for CustomProfile callers.
+const Millisecond = sim.Millisecond
+
+// Microsecond re-exports the simulated-time unit.
+const Microsecond = sim.Microsecond
+
+// Time is a simulated instant or duration in microseconds.
+type Time = sim.Time

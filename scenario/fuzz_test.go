@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"rtmac"
+)
+
+// FuzzLoad feeds arbitrary bytes through the JSON scenario loader; every
+// accepted document must produce a configuration that NewSimulation either
+// accepts or rejects cleanly — never a panic.
+func FuzzLoad(f *testing.F) {
+	f.Add(asymmetricJSON)
+	f.Add(`{"intervals": 1}`)
+	f.Add(`{"seed": 3, "intervals": 2, "profile": {"preset": "control"},
+		"protocol": {"name": "ldf"},
+		"links": [{"count": 1, "successProb": 0.5,
+		           "arrivals": {"type": "fixed", "param": 1}, "deliveryRatio": 1}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"profile": {"payloadBytes": -5}}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		cfg, intervals, err := Load(strings.NewReader(raw))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if intervals <= 0 {
+			t.Fatalf("accepted document with intervals %d", intervals)
+		}
+		sim, err := rtmac.NewSimulation(cfg)
+		if err != nil {
+			return // the config layer rejected it cleanly
+		}
+		// Cap the work: one interval suffices to exercise the machinery.
+		if err := sim.Run(1); err != nil {
+			t.Fatalf("accepted config failed to run: %v", err)
+		}
+	})
+}

@@ -1,0 +1,267 @@
+// Package scenario loads simulation configurations from JSON documents, so
+// heterogeneous networks can be described in files instead of code:
+//
+//	{
+//	  "seed": 1,
+//	  "intervals": 5000,
+//	  "profile": {"preset": "video"},
+//	  "protocol": {"name": "dbdp"},
+//	  "links": [
+//	    {"count": 10, "successProb": 0.5,
+//	     "arrivals": {"type": "video", "param": 0.35}, "deliveryRatio": 0.9},
+//	    {"count": 10, "successProb": 0.8,
+//	     "arrivals": {"type": "video", "param": 0.7}, "deliveryRatio": 0.9}
+//	  ]
+//	}
+//
+// Load returns the rtmac.Config plus the interval count, ready for
+// rtmac.NewSimulation. The cmd/rtmacsim tool accepts such files via
+// -config.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"rtmac"
+)
+
+// Document is the JSON schema.
+type Document struct {
+	Seed      uint64        `json:"seed"`
+	Intervals int           `json:"intervals"`
+	Profile   ProfileSpec   `json:"profile"`
+	Protocol  ProtocolSpec  `json:"protocol"`
+	Links     []LinkGroup   `json:"links"`
+	Snapshots SnapshotsSpec `json:"snapshots"`
+	// Fading, when present, replaces every link's static successProb with a
+	// network-wide Gilbert–Elliott fading channel.
+	Fading *FadingSpec `json:"fading,omitempty"`
+}
+
+// FadingSpec mirrors rtmac.Fading.
+type FadingSpec struct {
+	PGood     float64 `json:"pGood"`
+	PBad      float64 `json:"pBad"`
+	GoodToBad float64 `json:"goodToBad"`
+	BadToGood float64 `json:"badToGood"`
+	PeriodUs  int64   `json:"periodUs"`
+}
+
+// ProfileSpec selects a PHY profile: either a preset name or custom
+// parameters.
+type ProfileSpec struct {
+	// Preset is "video" or "control"; empty means custom.
+	Preset string `json:"preset,omitempty"`
+	// Custom parameters (used when Preset is empty).
+	PayloadBytes int     `json:"payloadBytes,omitempty"`
+	RateMbps     float64 `json:"rateMbps,omitempty"`
+	DeadlineUs   int64   `json:"deadlineUs,omitempty"`
+	Name         string  `json:"name,omitempty"`
+}
+
+// ProtocolSpec selects the policy.
+type ProtocolSpec struct {
+	// Name is dbdp | ldf | eldf | fcsma | framecsma | dcf.
+	Name string `json:"name"`
+	// Pairs enables DB-DP's multi-pair extension when > 1.
+	Pairs int `json:"pairs,omitempty"`
+	// Frozen disables DB-DP's reordering.
+	Frozen bool `json:"frozen,omitempty"`
+	// Influence selects the debt influence function for dbdp/eldf:
+	// "paperlog" (default), "identity", or "log" with Scale.
+	Influence string  `json:"influence,omitempty"`
+	Scale     float64 `json:"scale,omitempty"`
+	// R overrides DB-DP's Glauber constant (default 10).
+	R float64 `json:"r,omitempty"`
+}
+
+// LinkGroup describes count identical links.
+type LinkGroup struct {
+	Count         int          `json:"count"`
+	SuccessProb   float64      `json:"successProb"`
+	Arrivals      ArrivalsSpec `json:"arrivals"`
+	DeliveryRatio float64      `json:"deliveryRatio,omitempty"`
+	Required      float64      `json:"required,omitempty"`
+}
+
+// ArrivalsSpec selects the arrival process.
+type ArrivalsSpec struct {
+	// Type is bernoulli | video | fixed | bursty | binomial.
+	Type string `json:"type"`
+	// Param is the main parameter: Bernoulli p, video alpha, fixed count,
+	// bursty alpha, binomial p.
+	Param float64 `json:"param"`
+	// Lo/Hi bound the bursty burst size; N sets binomial trials.
+	Lo int `json:"lo,omitempty"`
+	Hi int `json:"hi,omitempty"`
+	N  int `json:"n,omitempty"`
+}
+
+// SnapshotsSpec enables convergence snapshots.
+type SnapshotsSpec struct {
+	Every int `json:"every,omitempty"`
+}
+
+// Load parses a JSON document and assembles the configuration.
+func Load(r io.Reader) (rtmac.Config, int, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return rtmac.Config{}, 0, fmt.Errorf("scenario: parsing: %w", err)
+	}
+	return Build(doc)
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string) (rtmac.Config, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return rtmac.Config{}, 0, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Build assembles a configuration from an already-decoded document.
+func Build(doc Document) (rtmac.Config, int, error) {
+	if doc.Intervals <= 0 {
+		return rtmac.Config{}, 0, fmt.Errorf("scenario: intervals must be positive, got %d", doc.Intervals)
+	}
+	profile, err := buildProfile(doc.Profile)
+	if err != nil {
+		return rtmac.Config{}, 0, err
+	}
+	protocol, err := buildProtocol(doc.Protocol)
+	if err != nil {
+		return rtmac.Config{}, 0, err
+	}
+	var links []rtmac.Link
+	for gi, group := range doc.Links {
+		if group.Count <= 0 {
+			return rtmac.Config{}, 0, fmt.Errorf("scenario: link group %d has count %d", gi, group.Count)
+		}
+		arr, err := buildArrivals(group.Arrivals)
+		if err != nil {
+			return rtmac.Config{}, 0, fmt.Errorf("scenario: link group %d: %w", gi, err)
+		}
+		for i := 0; i < group.Count; i++ {
+			links = append(links, rtmac.Link{
+				SuccessProb:   group.SuccessProb,
+				Arrivals:      arr,
+				DeliveryRatio: group.DeliveryRatio,
+				Required:      group.Required,
+			})
+		}
+	}
+	cfg := rtmac.Config{
+		Seed:          doc.Seed,
+		Profile:       profile,
+		Links:         links,
+		Protocol:      protocol,
+		SnapshotEvery: doc.Snapshots.Every,
+	}
+	if doc.Fading != nil {
+		cfg.Fading = &rtmac.Fading{
+			PGood:     doc.Fading.PGood,
+			PBad:      doc.Fading.PBad,
+			GoodToBad: doc.Fading.GoodToBad,
+			BadToGood: doc.Fading.BadToGood,
+			Period:    rtmac.Time(doc.Fading.PeriodUs) * rtmac.Microsecond,
+		}
+	}
+	return cfg, doc.Intervals, nil
+}
+
+func buildProfile(spec ProfileSpec) (rtmac.Profile, error) {
+	switch spec.Preset {
+	case "video":
+		return rtmac.VideoProfile(), nil
+	case "control":
+		return rtmac.ControlProfile(), nil
+	case "":
+		name := spec.Name
+		if name == "" {
+			name = "custom"
+		}
+		return rtmac.CustomProfile(name, spec.PayloadBytes, spec.RateMbps,
+			rtmac.Time(spec.DeadlineUs)*rtmac.Microsecond)
+	default:
+		return rtmac.Profile{}, fmt.Errorf("scenario: unknown profile preset %q", spec.Preset)
+	}
+}
+
+func buildProtocol(spec ProtocolSpec) (rtmac.Protocol, error) {
+	influence := func() (rtmac.InfluenceFunc, error) {
+		switch spec.Influence {
+		case "", "paperlog":
+			return rtmac.PaperInfluence(), nil
+		case "identity":
+			return rtmac.IdentityInfluence(), nil
+		case "log":
+			return rtmac.LogInfluence(spec.Scale)
+		default:
+			return rtmac.InfluenceFunc{}, fmt.Errorf("scenario: unknown influence %q", spec.Influence)
+		}
+	}
+	switch spec.Name {
+	case "dbdp":
+		var opts []rtmac.DBDPOption
+		if spec.Pairs > 1 {
+			opts = append(opts, rtmac.WithSwapPairs(spec.Pairs))
+		}
+		if spec.Frozen {
+			opts = append(opts, rtmac.WithFrozenPriorities())
+		}
+		if spec.Influence != "" || spec.R != 0 {
+			f, err := influence()
+			if err != nil {
+				return rtmac.Protocol{}, err
+			}
+			r := spec.R
+			if r == 0 {
+				r = 10
+			}
+			opts = append(opts, rtmac.WithInfluence(f, r))
+		}
+		return rtmac.DBDP(opts...), nil
+	case "ldf":
+		return rtmac.LDF(), nil
+	case "eldf":
+		f, err := influence()
+		if err != nil {
+			return rtmac.Protocol{}, err
+		}
+		return rtmac.ELDF(f), nil
+	case "fcsma":
+		return rtmac.FCSMA(), nil
+	case "framecsma":
+		return rtmac.FrameCSMA(), nil
+	case "tdma":
+		return rtmac.TDMA(), nil
+	case "dcf":
+		return rtmac.DCF(), nil
+	default:
+		return rtmac.Protocol{}, fmt.Errorf("scenario: unknown protocol %q", spec.Name)
+	}
+}
+
+func buildArrivals(spec ArrivalsSpec) (rtmac.Arrivals, error) {
+	switch spec.Type {
+	case "bernoulli":
+		return rtmac.BernoulliArrivals(spec.Param)
+	case "video":
+		return rtmac.VideoArrivals(spec.Param)
+	case "fixed":
+		return rtmac.FixedArrivals(int(spec.Param)), nil
+	case "bursty":
+		return rtmac.BurstyArrivals(spec.Param, spec.Lo, spec.Hi)
+	case "binomial":
+		return rtmac.BinomialArrivals(spec.N, spec.Param)
+	default:
+		return rtmac.Arrivals{}, fmt.Errorf("scenario: unknown arrival type %q", spec.Type)
+	}
+}

@@ -1,0 +1,345 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rtmac"
+)
+
+const asymmetricJSON = `{
+  "seed": 7,
+  "intervals": 50,
+  "profile": {"preset": "video"},
+  "protocol": {"name": "dbdp"},
+  "links": [
+    {"count": 2, "successProb": 0.5,
+     "arrivals": {"type": "video", "param": 0.35}, "deliveryRatio": 0.9},
+    {"count": 3, "successProb": 0.8,
+     "arrivals": {"type": "video", "param": 0.7}, "deliveryRatio": 0.9}
+  ]
+}`
+
+func TestLoadAndRun(t *testing.T) {
+	cfg, intervals, err := Load(strings.NewReader(asymmetricJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intervals != 50 {
+		t.Fatalf("intervals = %d", intervals)
+	}
+	if len(cfg.Links) != 5 {
+		t.Fatalf("links = %d, want 5", len(cfg.Links))
+	}
+	if cfg.Links[0].SuccessProb != 0.5 || cfg.Links[4].SuccessProb != 0.8 {
+		t.Fatalf("group expansion wrong: %+v", cfg.Links)
+	}
+	sim, err := rtmac.NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(intervals); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Report().Channel.Collisions != 0 {
+		t.Fatal("DB-DP collided")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(asymmetricJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestAllProtocols(t *testing.T) {
+	for _, name := range []string{"dbdp", "ldf", "eldf", "fcsma", "framecsma", "tdma", "dcf"} {
+		doc := Document{
+			Seed:      1,
+			Intervals: 10,
+			Profile:   ProfileSpec{Preset: "control"},
+			Protocol:  ProtocolSpec{Name: name},
+			Links: []LinkGroup{{
+				Count:         3,
+				SuccessProb:   0.7,
+				Arrivals:      ArrivalsSpec{Type: "bernoulli", Param: 0.5},
+				DeliveryRatio: 0.9,
+			}},
+		}
+		cfg, intervals, err := Build(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sim, err := rtmac.NewSimulation(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := sim.Run(intervals); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestProtocolOptions(t *testing.T) {
+	doc := Document{
+		Seed:      1,
+		Intervals: 10,
+		Profile:   ProfileSpec{Preset: "control"},
+		Protocol:  ProtocolSpec{Name: "dbdp", Pairs: 2, Influence: "log", Scale: 50, R: 5},
+		Links: []LinkGroup{{
+			Count: 6, SuccessProb: 0.7,
+			Arrivals:      ArrivalsSpec{Type: "fixed", Param: 1},
+			DeliveryRatio: 0.9,
+		}},
+	}
+	cfg, intervals, err := Build(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := rtmac.NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(intervals); err != nil {
+		t.Fatal(err)
+	}
+	doc.Protocol = ProtocolSpec{Name: "dbdp", Frozen: true}
+	if _, _, err := Build(doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllArrivalTypes(t *testing.T) {
+	for _, spec := range []ArrivalsSpec{
+		{Type: "bernoulli", Param: 0.5},
+		{Type: "video", Param: 0.4},
+		{Type: "fixed", Param: 2},
+		{Type: "bursty", Param: 0.5, Lo: 1, Hi: 3},
+		{Type: "binomial", Param: 0.4, N: 5},
+	} {
+		if _, err := buildArrivals(spec); err != nil {
+			t.Errorf("%s: %v", spec.Type, err)
+		}
+	}
+}
+
+func TestCustomProfile(t *testing.T) {
+	doc := Document{
+		Seed:      1,
+		Intervals: 10,
+		Profile:   ProfileSpec{PayloadBytes: 200, RateMbps: 54, DeadlineUs: 3000},
+		Protocol:  ProtocolSpec{Name: "ldf"},
+		Links: []LinkGroup{{
+			Count: 2, SuccessProb: 0.9,
+			Arrivals: ArrivalsSpec{Type: "fixed", Param: 1}, DeliveryRatio: 1,
+		}},
+	}
+	cfg, _, err := Build(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Profile.SlotsPerInterval() <= 0 {
+		t.Fatal("custom profile fits nothing")
+	}
+}
+
+func TestRejections(t *testing.T) {
+	base := func() Document {
+		return Document{
+			Seed:      1,
+			Intervals: 10,
+			Profile:   ProfileSpec{Preset: "control"},
+			Protocol:  ProtocolSpec{Name: "ldf"},
+			Links: []LinkGroup{{
+				Count: 1, SuccessProb: 0.5,
+				Arrivals: ArrivalsSpec{Type: "fixed", Param: 1}, DeliveryRatio: 1,
+			}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Document)
+	}{
+		{"zero intervals", func(d *Document) { d.Intervals = 0 }},
+		{"bad preset", func(d *Document) { d.Profile = ProfileSpec{Preset: "lte"} }},
+		{"bad protocol", func(d *Document) { d.Protocol.Name = "aloha" }},
+		{"bad arrivals", func(d *Document) { d.Links[0].Arrivals.Type = "poisson" }},
+		{"bad influence", func(d *Document) { d.Protocol = ProtocolSpec{Name: "eldf", Influence: "exp"} }},
+		{"zero count", func(d *Document) { d.Links[0].Count = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := base()
+			tc.mutate(&doc)
+			if _, _, err := Build(doc); err == nil {
+				t.Fatal("invalid document accepted")
+			}
+		})
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, _, err := Load(strings.NewReader(`{"intervals": 10, "bogus": true}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestFadingScenario(t *testing.T) {
+	doc := Document{
+		Seed:      1,
+		Intervals: 200,
+		Profile:   ProfileSpec{Preset: "control"},
+		Protocol:  ProtocolSpec{Name: "dbdp"},
+		Fading: &FadingSpec{
+			PGood: 0.85, PBad: 0.45,
+			GoodToBad: 0.05, BadToGood: 0.05,
+			PeriodUs: 1000,
+		},
+		Links: []LinkGroup{{
+			Count:         4,
+			Arrivals:      ArrivalsSpec{Type: "bernoulli", Param: 0.5},
+			DeliveryRatio: 0.9,
+		}},
+	}
+	cfg, intervals, err := Build(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fading == nil || cfg.Fading.Period != 1000 {
+		t.Fatalf("fading not wired: %+v", cfg.Fading)
+	}
+	sim, err := rtmac.NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(intervals); err != nil {
+		t.Fatal(err)
+	}
+	rep := sim.Report()
+	if rep.Channel.Losses == 0 {
+		t.Fatal("fading channel produced no losses")
+	}
+}
+
+func TestBuildTopology(t *testing.T) {
+	doc := TopologyDocument{
+		Name:         "cell",
+		Seed:         1,
+		Intervals:    100,
+		Profile:      ProfileSpec{Preset: "control"},
+		Protocol:     ProtocolSpec{Name: "dbdp"},
+		AccessPoints: []string{"ap"},
+		Clients:      []string{"sensor", "actuator"},
+		Links: []NamedLink{
+			{Name: "up", From: "sensor", To: "ap", SuccessProb: 0.7,
+				Arrivals: ArrivalsSpec{Type: "bernoulli", Param: 0.5}, DeliveryRatio: 0.95},
+			{Name: "d2d", From: "sensor", To: "actuator", SuccessProb: 0.6,
+				Arrivals: ArrivalsSpec{Type: "bernoulli", Param: 0.2}, DeliveryRatio: 0.9},
+		},
+	}
+	cfg, net, intervals, err := BuildTopology(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumLinks() != 2 || len(cfg.Links) != 2 || intervals != 100 {
+		t.Fatalf("compiled %d links, %d intervals", net.NumLinks(), intervals)
+	}
+	sim, err := rtmac.NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(intervals); err != nil {
+		t.Fatal(err)
+	}
+	rep := sim.Report()
+	worstName, _ := net.LinkName(0)
+	if worstName != "up" {
+		t.Fatalf("link 0 named %q", worstName)
+	}
+	if rep.Channel.Collisions != 0 {
+		t.Fatal("collisions")
+	}
+
+	// Error paths: bad node reference, bad arrivals, bad intervals.
+	bad := doc
+	bad.Links = []NamedLink{{Name: "x", From: "ghost", To: "ap",
+		Arrivals: ArrivalsSpec{Type: "bernoulli", Param: 0.5}}}
+	if _, _, _, err := BuildTopology(bad); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	bad2 := doc
+	bad2.Intervals = 0
+	if _, _, _, err := BuildTopology(bad2); err == nil {
+		t.Fatal("zero intervals accepted")
+	}
+	bad3 := doc
+	bad3.Links[0].Arrivals.Type = "poisson"
+	if _, _, _, err := BuildTopology(bad3); err == nil {
+		t.Fatal("bad arrivals accepted")
+	}
+}
+
+func TestLoadAnyFileDetectsFormats(t *testing.T) {
+	flat := filepath.Join(t.TempDir(), "flat.json")
+	if err := os.WriteFile(flat, []byte(asymmetricJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, net, intervals, err := LoadAnyFile(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net != nil {
+		t.Fatal("flat document produced a topology")
+	}
+	if len(cfg.Links) != 5 || intervals != 50 {
+		t.Fatalf("flat: %d links, %d intervals", len(cfg.Links), intervals)
+	}
+
+	topo := filepath.Join(t.TempDir(), "topo.json")
+	doc := `{
+	  "seed": 1, "intervals": 20,
+	  "profile": {"preset": "control"},
+	  "protocol": {"name": "ldf"},
+	  "accessPoints": ["ap"],
+	  "clients": ["c1"],
+	  "links": [{"name": "dl", "from": "ap", "to": "c1",
+	             "successProb": 0.9, "arrivals": {"type": "fixed", "param": 1},
+	             "deliveryRatio": 1}]
+	}`
+	if err := os.WriteFile(topo, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, net2, _, err := LoadAnyFile(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net2 == nil || net2.NumLinks() != 1 {
+		t.Fatal("topology document not detected")
+	}
+	sim, err := rtmac.NewSimulation(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(20); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, _, err := LoadAnyFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(badPath, []byte("not json"), 0o644)
+	if _, _, _, err := LoadAnyFile(badPath); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

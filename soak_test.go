@@ -1,0 +1,102 @@
+package rtmac_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rtmac"
+)
+
+// TestSoakRandomConfigurations sweeps randomized configurations through
+// every protocol and checks the cross-cutting invariants:
+//
+//   - DB-DP, LDF, TDMA and frame-based CSMA never collide;
+//   - every simulation is deterministic under its seed;
+//   - reports are internally consistent (deficiency within [0, Σq],
+//     delivered counts below attempted counts, busy share within [0, 1]);
+//   - no run errors or panics.
+func TestSoakRandomConfigurations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 77))
+	protocols := []struct {
+		p             rtmac.Protocol
+		collisionFree bool
+	}{
+		{rtmac.DBDP(), true},
+		{rtmac.DBDP(rtmac.WithSwapPairs(2)), true},
+		{rtmac.DBDP(rtmac.WithLearnedReliability()), true},
+		{rtmac.LDF(), true},
+		{rtmac.ELDF(rtmac.PaperInfluence()), true},
+		{rtmac.TDMA(), true},
+		{rtmac.FrameCSMA(), true},
+		{rtmac.FCSMA(), false},
+		{rtmac.DCF(), false},
+	}
+	for trial := 0; trial < 30; trial++ {
+		// Multi-pair DB-DP needs at least 4 links; keep every protocol valid.
+		n := 4 + rng.IntN(6)
+		links := make([]rtmac.Link, n)
+		sumQ := 0.0
+		for i := range links {
+			var arr rtmac.Arrivals
+			switch rng.IntN(3) {
+			case 0:
+				arr = rtmac.MustBernoulliArrivals(0.1 + 0.8*rng.Float64())
+			case 1:
+				arr = rtmac.MustVideoArrivals(0.1 + 0.4*rng.Float64())
+			default:
+				arr = rtmac.FixedArrivals(1 + rng.IntN(2))
+			}
+			ratio := 0.5 + 0.5*rng.Float64()
+			links[i] = rtmac.Link{
+				SuccessProb:   0.2 + 0.8*rng.Float64(),
+				Arrivals:      arr,
+				DeliveryRatio: ratio,
+			}
+			sumQ += ratio * arr.Mean()
+		}
+		spec := protocols[trial%len(protocols)]
+		seed := rng.Uint64()
+
+		run := func() rtmac.Report {
+			sim, err := rtmac.NewSimulation(rtmac.Config{
+				Seed:     seed,
+				Profile:  rtmac.ControlProfile(),
+				Links:    links,
+				Protocol: spec.p,
+			})
+			if err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, spec.p.Label(), err)
+			}
+			if err := sim.Run(150); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, spec.p.Label(), err)
+			}
+			return sim.Report()
+		}
+		a := run()
+		b := run()
+
+		if spec.collisionFree && a.Channel.Collisions != 0 {
+			t.Errorf("trial %d: %s collided %d times", trial, spec.p.Label(), a.Channel.Collisions)
+		}
+		if a.TotalDeficiency != b.TotalDeficiency || a.Channel.Transmissions != b.Channel.Transmissions {
+			t.Errorf("trial %d: %s not deterministic", trial, spec.p.Label())
+		}
+		if a.TotalDeficiency < 0 || a.TotalDeficiency > sumQ+1e-9 {
+			t.Errorf("trial %d: deficiency %v outside [0, %v]", trial, a.TotalDeficiency, sumQ)
+		}
+		if a.Channel.Deliveries > a.Channel.Transmissions {
+			t.Errorf("trial %d: more deliveries than transmissions", trial)
+		}
+		if a.Channel.BusyShare < 0 || a.Channel.BusyShare > 1 {
+			t.Errorf("trial %d: busy share %v", trial, a.Channel.BusyShare)
+		}
+		for i, l := range a.Links {
+			if l.DeliveryRatio < 0 || l.DeliveryRatio > 1 {
+				t.Errorf("trial %d link %d: delivery ratio %v", trial, i, l.DeliveryRatio)
+			}
+			if l.Throughput < 0 {
+				t.Errorf("trial %d link %d: negative throughput", trial, i)
+			}
+		}
+	}
+}

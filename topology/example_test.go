@@ -1,0 +1,49 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"rtmac"
+	"rtmac/topology"
+)
+
+// Build the paper's Figure-1-style network by name and compile it for the
+// simulator.
+func ExampleNetwork() {
+	net := topology.New("cell")
+	if err := net.AddAccessPoint("ap"); err != nil {
+		panic(err)
+	}
+	for _, c := range []string{"sensor", "actuator"} {
+		if err := net.AddClient(c); err != nil {
+			panic(err)
+		}
+	}
+	if err := net.AddLink(topology.Link{
+		Name: "telemetry", From: "sensor", To: "ap",
+		SuccessProb: 0.7, Arrivals: rtmac.MustBernoulliArrivals(0.5), DeliveryRatio: 0.99,
+	}); err != nil {
+		panic(err)
+	}
+	if err := net.AddLink(topology.Link{
+		Name: "estop", From: "sensor", To: "actuator",
+		SuccessProb: 0.6, Arrivals: rtmac.MustBernoulliArrivals(0.1), DeliveryRatio: 0.999,
+	}); err != nil {
+		panic(err)
+	}
+	links, err := net.Links()
+	if err != nil {
+		panic(err)
+	}
+	kind, err := net.KindOf("estop")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d links compiled; estop is a %s link\n", len(links), kind)
+	fmt.Print(net.Summary())
+	// Output:
+	// 2 links compiled; estop is a d2d link
+	// network "cell": 1 access points, 2 clients, 2 links
+	//   uplink: telemetry
+	//   d2d: estop
+}

@@ -1,0 +1,259 @@
+// Package topology models the wireless network of the paper's Figure 1: a
+// set of access points and client devices in one manufacturing area, joined
+// by directed links — AP downlinks, client uplinks, and direct
+// device-to-device links — all sharing one channel and all interfering with
+// each other (the complete conflict graph of Section II-A).
+//
+// The package maps named nodes and links onto the integer link indices the
+// simulator uses, validates the description, and exports Graphviz DOT for
+// documentation. Build a Network, then call Links to obtain the
+// []rtmac.Link for rtmac.NewSimulation; per-link results in reports can be
+// mapped back to names via LinkName.
+package topology
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rtmac"
+)
+
+// NodeKind distinguishes infrastructure from client devices.
+type NodeKind int
+
+// Node kinds.
+const (
+	// AccessPoint is wired infrastructure serving multiple clients.
+	AccessPoint NodeKind = iota
+	// Client is a wireless sensor, actuator or controller.
+	Client
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case AccessPoint:
+		return "ap"
+	case Client:
+		return "client"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// LinkKind classifies a directed link by its endpoints.
+type LinkKind int
+
+// Link kinds.
+const (
+	// Downlink is AP → client.
+	Downlink LinkKind = iota
+	// Uplink is client → AP.
+	Uplink
+	// DeviceToDevice is client → client without AP involvement.
+	DeviceToDevice
+)
+
+// String implements fmt.Stringer.
+func (k LinkKind) String() string {
+	switch k {
+	case Downlink:
+		return "downlink"
+	case Uplink:
+		return "uplink"
+	case DeviceToDevice:
+		return "d2d"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Link is one directed wireless link between named nodes, carrying the
+// traffic and requirement parameters of the simulator.
+type Link struct {
+	// Name identifies the link in reports.
+	Name string
+	// From and To are node names.
+	From, To string
+	// SuccessProb, Arrivals, DeliveryRatio and Required mirror rtmac.Link.
+	SuccessProb   float64
+	Arrivals      rtmac.Arrivals
+	DeliveryRatio float64
+	Required      float64
+}
+
+// Network is a named topology under construction.
+type Network struct {
+	name  string
+	nodes map[string]NodeKind
+	order []string // node insertion order, for deterministic output
+	links []Link
+}
+
+// New creates an empty network.
+func New(name string) *Network {
+	return &Network{name: name, nodes: make(map[string]NodeKind)}
+}
+
+// AddAccessPoint declares an access point node.
+func (n *Network) AddAccessPoint(name string) error { return n.addNode(name, AccessPoint) }
+
+// AddClient declares a client device node.
+func (n *Network) AddClient(name string) error { return n.addNode(name, Client) }
+
+func (n *Network) addNode(name string, kind NodeKind) error {
+	if name == "" {
+		return fmt.Errorf("topology: empty node name")
+	}
+	if _, dup := n.nodes[name]; dup {
+		return fmt.Errorf("topology: node %q declared twice", name)
+	}
+	n.nodes[name] = kind
+	n.order = append(n.order, name)
+	return nil
+}
+
+// AddLink declares a directed link. Both endpoints must exist; the link kind
+// is derived from the endpoint kinds (AP→AP links are rejected — the paper's
+// model has no wireless backhaul).
+func (n *Network) AddLink(l Link) error {
+	if l.Name == "" {
+		return fmt.Errorf("topology: link without a name")
+	}
+	for _, other := range n.links {
+		if other.Name == l.Name {
+			return fmt.Errorf("topology: link %q declared twice", l.Name)
+		}
+	}
+	fromKind, ok := n.nodes[l.From]
+	if !ok {
+		return fmt.Errorf("topology: link %q: unknown node %q", l.Name, l.From)
+	}
+	toKind, ok := n.nodes[l.To]
+	if !ok {
+		return fmt.Errorf("topology: link %q: unknown node %q", l.Name, l.To)
+	}
+	if l.From == l.To {
+		return fmt.Errorf("topology: link %q is a self-loop", l.Name)
+	}
+	if fromKind == AccessPoint && toKind == AccessPoint {
+		return fmt.Errorf("topology: link %q joins two access points", l.Name)
+	}
+	n.links = append(n.links, l)
+	return nil
+}
+
+// KindOf returns the classification of a declared link.
+func (n *Network) KindOf(linkName string) (LinkKind, error) {
+	for _, l := range n.links {
+		if l.Name == linkName {
+			from := n.nodes[l.From]
+			to := n.nodes[l.To]
+			switch {
+			case from == AccessPoint:
+				return Downlink, nil
+			case to == AccessPoint:
+				return Uplink, nil
+			default:
+				return DeviceToDevice, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown link %q", linkName)
+}
+
+// NumLinks returns the number of declared links.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// LinkName maps a simulator link index back to the declared name.
+func (n *Network) LinkName(index int) (string, error) {
+	if index < 0 || index >= len(n.links) {
+		return "", fmt.Errorf("topology: link index %d outside [0, %d)", index, len(n.links))
+	}
+	return n.links[index].Name, nil
+}
+
+// LinkIndex maps a declared name to its simulator link index.
+func (n *Network) LinkIndex(name string) (int, error) {
+	for i, l := range n.links {
+		if l.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown link %q", name)
+}
+
+// Links compiles the topology into the simulator's per-link configuration,
+// in declaration order. The index of each entry matches LinkIndex.
+func (n *Network) Links() ([]rtmac.Link, error) {
+	if len(n.links) == 0 {
+		return nil, fmt.Errorf("topology: network %q has no links", n.name)
+	}
+	out := make([]rtmac.Link, len(n.links))
+	for i, l := range n.links {
+		out[i] = rtmac.Link{
+			SuccessProb:   l.SuccessProb,
+			Arrivals:      l.Arrivals,
+			DeliveryRatio: l.DeliveryRatio,
+			Required:      l.Required,
+		}
+	}
+	return out, nil
+}
+
+// WriteDOT renders the topology as a Graphviz digraph: boxes for APs,
+// ellipses for clients, one edge per link labelled with its name and
+// channel reliability.
+func (n *Network) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", n.name)
+	b.WriteString("  rankdir=LR;\n")
+	for _, name := range n.order {
+		shape := "ellipse"
+		if n.nodes[name] == AccessPoint {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", name, shape)
+	}
+	for _, l := range n.links {
+		kind, err := n.KindOf(l.Name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s (%s, p=%.2f)\"];\n",
+			l.From, l.To, l.Name, kind, l.SuccessProb)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary lists the topology's contents as text, grouped by link kind.
+func (n *Network) Summary() string {
+	var b strings.Builder
+	aps, clients := 0, 0
+	for _, kind := range n.nodes {
+		if kind == AccessPoint {
+			aps++
+		} else {
+			clients++
+		}
+	}
+	fmt.Fprintf(&b, "network %q: %d access points, %d clients, %d links\n",
+		n.name, aps, clients, len(n.links))
+	byKind := map[LinkKind][]string{}
+	for _, l := range n.links {
+		kind, _ := n.KindOf(l.Name)
+		byKind[kind] = append(byKind[kind], l.Name)
+	}
+	for _, kind := range []LinkKind{Downlink, Uplink, DeviceToDevice} {
+		names := byKind[kind]
+		sort.Strings(names)
+		if len(names) > 0 {
+			fmt.Fprintf(&b, "  %s: %s\n", kind, strings.Join(names, ", "))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"rtmac"
+)
+
+func buildFigureOne(t *testing.T) *Network {
+	t.Helper()
+	n := New("figure1")
+	for _, ap := range []string{"ap1", "ap2"} {
+		if err := n.AddAccessPoint(ap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []string{"sensor1", "sensor2", "actuator1", "controller"} {
+		if err := n.AddClient(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := []Link{
+		{Name: "dl1", From: "ap1", To: "sensor1", SuccessProb: 0.8,
+			Arrivals: rtmac.MustBernoulliArrivals(0.5), DeliveryRatio: 0.99},
+		{Name: "ul1", From: "sensor2", To: "ap1", SuccessProb: 0.7,
+			Arrivals: rtmac.MustBernoulliArrivals(0.6), DeliveryRatio: 0.99},
+		{Name: "dl2", From: "ap2", To: "actuator1", SuccessProb: 0.9,
+			Arrivals: rtmac.MustBernoulliArrivals(0.4), DeliveryRatio: 0.99},
+		{Name: "d2d", From: "controller", To: "actuator1", SuccessProb: 0.6,
+			Arrivals: rtmac.MustBernoulliArrivals(0.3), DeliveryRatio: 0.95},
+	}
+	for _, l := range links {
+		if err := n.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestKinds(t *testing.T) {
+	n := buildFigureOne(t)
+	tests := map[string]LinkKind{
+		"dl1": Downlink,
+		"ul1": Uplink,
+		"dl2": Downlink,
+		"d2d": DeviceToDevice,
+	}
+	for name, want := range tests {
+		got, err := n.KindOf(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("KindOf(%s) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := n.KindOf("nope"); err == nil {
+		t.Error("unknown link accepted")
+	}
+}
+
+func TestIndexNameRoundTrip(t *testing.T) {
+	n := buildFigureOne(t)
+	for i := 0; i < n.NumLinks(); i++ {
+		name, err := n.LinkName(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := n.LinkIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("round trip %d -> %s -> %d", i, name, idx)
+		}
+	}
+	if _, err := n.LinkName(99); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := n.LinkIndex("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestCompileAndSimulate(t *testing.T) {
+	n := buildFigureOne(t)
+	links, err := n.Links()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 4 {
+		t.Fatalf("compiled %d links", len(links))
+	}
+	sim, err := rtmac.NewSimulation(rtmac.Config{
+		Seed:     1,
+		Profile:  rtmac.ControlProfile(),
+		Links:    links,
+		Protocol: rtmac.DBDP(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	rep := sim.Report()
+	if rep.Channel.Collisions != 0 {
+		t.Fatal("collisions in topology-driven simulation")
+	}
+	// Map the worst link back to its name.
+	worst, worstIdx := -1.0, 0
+	for i, l := range rep.Links {
+		if l.Deficiency > worst {
+			worst, worstIdx = l.Deficiency, i
+		}
+	}
+	if _, err := n.LinkName(worstIdx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	n := New("v")
+	if err := n.AddAccessPoint(""); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if err := n.AddAccessPoint("ap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddAccessPoint("ap"); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if err := n.AddClient("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddAccessPoint("ap2"); err != nil {
+		t.Fatal(err)
+	}
+	arr := rtmac.FixedArrivals(1)
+	cases := []struct {
+		name string
+		link Link
+	}{
+		{"no name", Link{From: "ap", To: "c1", Arrivals: arr}},
+		{"unknown from", Link{Name: "x", From: "ghost", To: "c1", Arrivals: arr}},
+		{"unknown to", Link{Name: "x", From: "ap", To: "ghost", Arrivals: arr}},
+		{"self loop", Link{Name: "x", From: "c1", To: "c1", Arrivals: arr}},
+		{"ap to ap", Link{Name: "x", From: "ap", To: "ap2", Arrivals: arr}},
+	}
+	for _, tc := range cases {
+		if err := n.AddLink(tc.link); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	if err := n.AddLink(Link{Name: "ok", From: "ap", To: "c1", SuccessProb: 0.9, Arrivals: arr, DeliveryRatio: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink(Link{Name: "ok", From: "ap", To: "c1", SuccessProb: 0.9, Arrivals: arr}); err == nil {
+		t.Error("duplicate link name accepted")
+	}
+	empty := New("e")
+	if _, err := empty.Links(); err == nil {
+		t.Error("empty network compiled")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	n := buildFigureOne(t)
+	var buf strings.Builder
+	if err := n.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"figure1\"",
+		"\"ap1\" [shape=box]",
+		"\"sensor1\" [shape=ellipse]",
+		"\"ap1\" -> \"sensor1\"",
+		"d2d (d2d, p=0.60)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	n := buildFigureOne(t)
+	s := n.Summary()
+	for _, want := range []string{
+		"2 access points, 4 clients, 4 links",
+		"downlink: dl1, dl2",
+		"uplink: ul1",
+		"d2d: d2d",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if AccessPoint.String() != "ap" || Client.String() != "client" {
+		t.Fatal("node kind strings wrong")
+	}
+	if Downlink.String() != "downlink" || Uplink.String() != "uplink" || DeviceToDevice.String() != "d2d" {
+		t.Fatal("link kind strings wrong")
+	}
+	if NodeKind(9).String() == "" || LinkKind(9).String() == "" {
+		t.Fatal("unknown kinds must still render")
+	}
+}
