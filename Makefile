@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short bench figures figures-quick telemetry-smoke fuzz cover clean
 
 all: build vet test
 
@@ -28,6 +28,17 @@ figures:
 # A quick low-fidelity pass over all figures (~seconds).
 figures-quick:
 	$(GO) run ./cmd/figures -scale 0.05 -seeds 1 -quiet
+
+# End-to-end check of the observability stack: run a short scenario with
+# metric + event dumps and assert the outputs are non-empty and parseable.
+telemetry-smoke:
+	$(GO) run ./cmd/rtmacsim -protocol dbdp -intervals 200 \
+		-telemetry /tmp/rtmac-metrics.prom -events /tmp/rtmac-events.jsonl >/dev/null
+	test -s /tmp/rtmac-metrics.prom
+	test -s /tmp/rtmac-metrics.prom.manifest.json
+	test -s /tmp/rtmac-events.jsonl
+	grep -q '^rtmac_tx_total ' /tmp/rtmac-metrics.prom
+	$(GO) run ./cmd/rtmacsim -checkevents /tmp/rtmac-events.jsonl
 
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rtmac"
@@ -38,10 +40,27 @@ func main() {
 		pairs      = flag.Int("pairs", 1, "DB-DP swap pairs per interval (Remark 6 extension)")
 		timeline   = flag.Bool("timeline", false, "render the final interval as an ASCII packet timeline")
 		delay      = flag.Bool("delay", false, "report delivery-delay statistics (mean, p50/p95/p99, max)")
+		telemetry  = flag.String("telemetry", "", "write Prometheus-format metrics to this file (plus .json snapshot and .manifest.json alongside)")
+		events     = flag.String("events", "", "stream structured JSONL events (tx, interval, swap, debt) to this file")
+		sampleTx   = flag.Int("sample-tx", 1, "keep one in every N per-transmission events in the event stream (1 keeps all)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
+		checkev    = flag.String("checkevents", "", "validate a JSONL event file written by -events, print its event count, and exit")
 	)
 	flag.Parse()
+	if *checkev != "" {
+		if err := checkEvents(*checkev); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	showTimeline = *timeline
 	showDelay = *delay
+	telemetryPath = *telemetry
+	eventsPath = *events
+	eventSampleTx = *sampleTx
+	cpuprofilePath = *cpuprofile
+	memprofilePath = *memprofile
 
 	if *configPath != "" {
 		cfg, net, configIntervals, err := scenario.LoadAnyFile(*configPath)
@@ -77,12 +96,17 @@ func main() {
 	}, *intervals)
 }
 
-// showTimeline and showDelay are set from flags before runAndReport runs;
-// topo carries the named topology when -config pointed at one.
+// The flag globals are set before runAndReport runs; topo carries the named
+// topology when -config pointed at one.
 var (
-	showTimeline bool
-	showDelay    bool
-	topo         *topology.Network
+	showTimeline   bool
+	showDelay      bool
+	telemetryPath  string
+	eventsPath     string
+	eventSampleTx  int
+	cpuprofilePath string
+	memprofilePath string
+	topo           *topology.Network
 )
 
 func runAndReport(cfg rtmac.Config, intervals int) {
@@ -102,9 +126,59 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 			fatal(err)
 		}
 	}
+	var stream *rtmac.EventStream
+	var eventsFile *os.File
+	if eventsPath != "" {
+		eventsFile, err = os.Create(eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		var opts []rtmac.EventOption
+		if eventSampleTx > 1 {
+			opts = append(opts, rtmac.SampleEvents("tx", eventSampleTx))
+		}
+		stream = sim.StreamEvents(eventsFile, opts...)
+	}
+	if cpuprofilePath != "" {
+		f, err := os.Create(cpuprofilePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	start := time.Now()
 	if err := sim.Run(intervals); err != nil {
 		fatal(err)
+	}
+	if stream != nil {
+		if err := stream.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if memprofilePath != "" {
+		f, err := os.Create(memprofilePath)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if telemetryPath != "" {
+		if err := dumpTelemetry(sim, cfg, intervals); err != nil {
+			fatal(err)
+		}
 	}
 	rep := sim.Report()
 	fmt.Print(rep)
@@ -146,6 +220,66 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 			fatal(err)
 		}
 	}
+}
+
+// dumpTelemetry writes the metric registry in Prometheus text format to
+// telemetryPath, a JSON snapshot to telemetryPath+".json", and the run
+// manifest to telemetryPath+".manifest.json".
+func dumpTelemetry(sim *rtmac.Simulation, cfg rtmac.Config, intervals int) error {
+	write := func(path string, render func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	tele := sim.Telemetry()
+	if err := write(telemetryPath, func(f *os.File) error { return tele.WritePrometheus(f) }); err != nil {
+		return err
+	}
+	if err := write(telemetryPath+".json", func(f *os.File) error { return tele.WriteJSON(f) }); err != nil {
+		return err
+	}
+	manifest := sim.Manifest("rtmacsim", map[string]string{
+		"intervals": fmt.Sprint(intervals),
+		"links":     fmt.Sprint(len(cfg.Links)),
+	})
+	return write(telemetryPath+".manifest.json", func(f *os.File) error { return manifest.WriteJSON(f) })
+}
+
+// checkEvents validates a JSONL event file end to end: every line must
+// parse and at least one event must be present. Used by `make
+// telemetry-smoke` and CI to guard the stream format.
+func checkEvents(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := rtmac.DecodeEvents(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: no events", path)
+	}
+	kinds := map[string]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	fmt.Printf("%s: %d events ok (", path, len(events))
+	for i, kind := range []string{"tx", "interval", "swap", "debt"} {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%d %s", kinds[kind], kind)
+	}
+	fmt.Println(")")
+	return nil
 }
 
 func profileByName(name string) (rtmac.Profile, error) {

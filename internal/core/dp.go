@@ -87,7 +87,14 @@ type Protocol struct {
 	positions []int
 	// swaps counts committed priority exchanges, for diagnostics.
 	swaps int64
+	// swapHook, when set, observes every swap decision (telemetry).
+	swapHook mac.SwapHook
 }
+
+// SetSwapHook installs an observer invoked once per swap pair at each
+// interval's end with the decision outcome. Networks use it to count swap
+// accept/reject dynamics and stream swap events.
+func (p *Protocol) SetSwapHook(h mac.SwapHook) { p.swapHook = h }
 
 // New builds a DP protocol for n links using the given µ policy.
 func New(n int, policy MuPolicy, opts ...Option) (*Protocol, error) {
@@ -402,7 +409,7 @@ func (p *Protocol) markStarted(link int) {
 // EndInterval implements mac.Protocol: commit the priority exchanges that
 // both candidates confirmed (Eqs. 7–8); changes take effect from the next
 // interval, as in Algorithm 2.
-func (p *Protocol) EndInterval(*mac.Context) {
+func (p *Protocol) EndInterval(ctx *mac.Context) {
 	for i := range p.active {
 		ps := &p.active[i]
 		swapDown := ps.xiDown == -1 && ps.downSensedBusy
@@ -418,6 +425,9 @@ func (p *Protocol) EndInterval(*mac.Context) {
 		if swapDown {
 			p.prio = p.prio.SwapAtPriority(ps.c)
 			p.swaps++
+		}
+		if p.swapHook != nil {
+			p.swapHook(ctx.K, ctx.End, ps.c, ps.down, ps.up, swapDown)
 		}
 	}
 	p.active = p.active[:0]

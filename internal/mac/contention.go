@@ -5,6 +5,7 @@ import (
 
 	"rtmac/internal/medium"
 	"rtmac/internal/sim"
+	"rtmac/internal/telemetry"
 )
 
 // Contender receives the contention coordinator's callbacks for one link.
@@ -47,6 +48,10 @@ type Contention struct {
 	entries  []contentionEntry // indexed by link; active flag marks presence
 	active   int
 	boundary *sim.Timer
+	// backoffHist, when set, observes every initial backoff counter —
+	// protocol-independent visibility into how much idle countdown each
+	// policy pays per interval.
+	backoffHist *telemetry.Histogram
 	// scratch reused by processBoundary.
 	fired, sensed []int
 }
@@ -97,8 +102,14 @@ func (c *Contention) Add(link, counter int, contender Contender) {
 	}
 	c.entries[link] = contentionEntry{counter: counter, active: true, contender: contender}
 	c.active++
+	if c.backoffHist != nil {
+		c.backoffHist.Observe(float64(counter))
+	}
 	c.arm()
 }
+
+// SetBackoffHistogram installs the telemetry histogram fed by every Add.
+func (c *Contention) SetBackoffHistogram(h *telemetry.Histogram) { c.backoffHist = h }
 
 // Settle processes entries that are already at zero or one at the current
 // instant (fires zeros, senses ones) and arms the slot clock. Protocols call

@@ -2,12 +2,14 @@ package mac
 
 import (
 	"fmt"
+	"time"
 
 	"rtmac/internal/arrival"
 	"rtmac/internal/debt"
 	"rtmac/internal/medium"
 	"rtmac/internal/phy"
 	"rtmac/internal/sim"
+	"rtmac/internal/telemetry"
 )
 
 // Protocol is a medium-access policy driven by the network's interval loop.
@@ -60,6 +62,12 @@ type NetworkConfig struct {
 	Protocol Protocol
 	// Observers receive per-interval results.
 	Observers []Observer
+	// Telemetry, when non-nil, is the metric registry the network and its
+	// medium publish into; otherwise the network creates a private one.
+	Telemetry *telemetry.Registry
+	// Events, when non-nil, receives the structured event stream from the
+	// start of the run (it can also be attached later with SetEventSink).
+	Events telemetry.Sink
 }
 
 // Network runs one protocol over the interval structure of the paper.
@@ -72,6 +80,9 @@ type Network struct {
 	cont      *Contention
 	arrivals  []int
 	intervals int64
+	reg       *telemetry.Registry
+	inst      *instrumentation
+	txTraced  bool
 }
 
 // NewNetwork validates the configuration and assembles the simulation.
@@ -112,6 +123,10 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 			len(cfg.Required), n)
 	}
 	eng := sim.NewEngine(cfg.Seed)
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	var (
 		med *medium.Medium
 		err error
@@ -123,11 +138,11 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		if err != nil {
 			return nil, fmt.Errorf("mac: channel factory: %w", err)
 		}
-		med, err = medium.NewWithModel(eng, n, model)
+		med, err = medium.NewWithModel(eng, n, model, medium.WithRegistry(reg))
 	case cfg.Channel != nil:
-		med, err = medium.NewWithModel(eng, n, cfg.Channel)
+		med, err = medium.NewWithModel(eng, n, cfg.Channel, medium.WithRegistry(reg))
 	default:
-		med, err = medium.New(eng, cfg.SuccessProb)
+		med, err = medium.New(eng, cfg.SuccessProb, medium.WithRegistry(reg))
 	}
 	if err != nil {
 		return nil, fmt.Errorf("mac: %w", err)
@@ -142,7 +157,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	}
 	ctx := newContext(eng, med, cfg.Profile, ledger)
 	ctx.cont = cont
-	return &Network{
+	nw := &Network{
 		cfg:      cfg,
 		eng:      eng,
 		med:      med,
@@ -150,7 +165,55 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		ctx:      ctx,
 		cont:     cont,
 		arrivals: make([]int, n),
-	}, nil
+		reg:      reg,
+		inst:     newInstrumentation(reg),
+	}
+	cont.SetBackoffHistogram(nw.inst.backoffHist)
+	ledger.SetUpdateHook(func(k int64, debts []float64) {
+		nw.inst.observeDebts(k, nw.ctx.End, debts)
+	})
+	if carrier, ok := cfg.Protocol.(swapHookCarrier); ok {
+		carrier.SetSwapHook(nw.inst.observeSwap)
+	}
+	if cfg.Events != nil {
+		nw.SetEventSink(cfg.Events)
+	}
+	return nw, nil
+}
+
+// Telemetry returns the registry the network's metrics live in.
+func (nw *Network) Telemetry() *telemetry.Registry { return nw.reg }
+
+// SetEventSink attaches (or replaces) the structured event stream. Call it
+// before Run; events from intervals already simulated are not replayed. A
+// nil sink detaches the stream.
+func (nw *Network) SetEventSink(s telemetry.Sink) {
+	nw.inst.sink = s
+	if s != nil && !nw.txTraced {
+		// Per-transmission events ride the medium's existing trace hook, the
+		// same hook packet recorders use, so the medium needs no second
+		// instrumentation path. Registered once; the closure reads the
+		// current sink so replacing it needs no re-registration.
+		nw.txTraced = true
+		nw.med.AddTrace(func(tx medium.Transmission, outcome medium.Outcome) {
+			sink := nw.inst.sink
+			if sink == nil {
+				return
+			}
+			empty := 0.0
+			if tx.Empty {
+				empty = 1
+			}
+			sink.Emit(telemetry.Event{
+				K: nw.ctx.K, At: tx.End, Link: tx.Link, Kind: telemetry.EventTx,
+				Fields: map[string]float64{
+					"dur":     float64(tx.End - tx.Start),
+					"empty":   empty,
+					"outcome": float64(outcome),
+				},
+			})
+		})
+	}
 }
 
 // Links returns N.
@@ -178,6 +241,12 @@ func (nw *Network) Run(intervals int) error {
 	if intervals < 0 {
 		return fmt.Errorf("mac: negative interval count %d", intervals)
 	}
+	wallStart := time.Now()
+	defer func() {
+		if elapsed := time.Since(wallStart).Seconds(); elapsed > 0 && intervals > 0 {
+			nw.inst.intervalsPerS.Set(float64(intervals) / elapsed)
+		}
+	}()
 	rng := nw.eng.RNG("arrivals")
 	for i := 0; i < intervals; i++ {
 		k := nw.intervals
@@ -203,6 +272,7 @@ func (nw *Network) Run(intervals int) error {
 		for _, obs := range nw.cfg.Observers {
 			obs.ObserveInterval(k, nw.arrivals, nw.ctx.served)
 		}
+		nw.inst.endInterval(nw, k, end)
 		nw.intervals++
 	}
 	return nil

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"rtmac/internal/sim"
+	"rtmac/internal/telemetry"
 )
 
 // Outcome is the result of one transmission as observed by the transmitter.
@@ -62,7 +63,9 @@ type Transmission struct {
 	onDone   func(Outcome)
 }
 
-// Stats aggregates channel-level counters for reporting and tests.
+// Stats aggregates channel-level counters for reporting and tests. It is a
+// compatibility view over the telemetry registry, which is the counters'
+// single source of truth (see Medium.Registry).
 type Stats struct {
 	// Transmissions counts every started transmission, including empty frames.
 	Transmissions int
@@ -78,6 +81,58 @@ type Stats struct {
 	BusyTime sim.Time
 }
 
+// Airtime breaks channel occupancy down by what the time was spent on.
+// Busy is the union of occupancy periods (overlaps counted once); the other
+// fields are summed per-transmission airtimes, so during a collision they
+// exceed the wall-clock span they cover.
+type Airtime struct {
+	// Busy is the union of all occupancy periods.
+	Busy sim.Time
+	// Data is the summed airtime of non-collided data exchanges
+	// (delivered or channel-lost).
+	Data sim.Time
+	// Empty is the summed airtime of non-collided priority-claiming frames.
+	Empty sim.Time
+	// Collided is the summed airtime of transmissions destroyed by overlap.
+	Collided sim.Time
+}
+
+// Utilization returns the fraction of the simulated span [0, now] the
+// channel was occupied (0 when now is zero).
+func (a Airtime) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(a.Busy) / float64(now)
+}
+
+// channelMetrics are the medium's registry-backed counters.
+type channelMetrics struct {
+	transmissions *telemetry.Counter
+	emptyFrames   *telemetry.Counter
+	deliveries    *telemetry.Counter
+	losses        *telemetry.Counter
+	collisions    *telemetry.Counter
+	busyUS        *telemetry.Counter
+	dataUS        *telemetry.Counter
+	emptyUS       *telemetry.Counter
+	collidedUS    *telemetry.Counter
+}
+
+func newChannelMetrics(reg *telemetry.Registry) channelMetrics {
+	return channelMetrics{
+		transmissions: reg.Counter("rtmac_tx_total", "started transmissions, empty frames included"),
+		emptyFrames:   reg.Counter("rtmac_tx_empty_total", "started priority-claiming empty frames"),
+		deliveries:    reg.Counter("rtmac_tx_delivered_total", "data transmissions delivered and acknowledged"),
+		losses:        reg.Counter("rtmac_tx_lost_total", "data transmissions erased by the channel"),
+		collisions:    reg.Counter("rtmac_tx_collided_total", "transmissions destroyed by overlap"),
+		busyUS:        reg.Counter("rtmac_airtime_busy_us_total", "microseconds the channel was occupied (union of occupancy periods)"),
+		dataUS:        reg.Counter("rtmac_airtime_data_us_total", "summed airtime of non-collided data exchanges, microseconds"),
+		emptyUS:       reg.Counter("rtmac_airtime_empty_us_total", "summed airtime of non-collided empty frames, microseconds"),
+		collidedUS:    reg.Counter("rtmac_airtime_collided_us_total", "summed airtime of collided transmissions, microseconds"),
+	}
+}
+
 // Medium is the shared channel. It is bound to one engine and is not safe
 // for concurrent use.
 type Medium struct {
@@ -89,14 +144,29 @@ type Medium struct {
 	listeners []Listener
 	busySince sim.Time
 	inFinish  bool
-	stats     Stats
+	reg       *telemetry.Registry
+	met       channelMetrics
 	traces    []func(tx Transmission, outcome Outcome)
+}
+
+// Option configures a Medium at construction.
+type Option func(*Medium)
+
+// WithRegistry routes the channel counters into the given telemetry
+// registry instead of a private one, so one registry can expose the whole
+// simulation.
+func WithRegistry(reg *telemetry.Registry) Option {
+	return func(m *Medium) {
+		if reg != nil {
+			m.reg = reg
+		}
+	}
 }
 
 // New returns a channel shared by len(success) links with the paper's
 // static reliability model; success[n] is the non-interfered delivery
 // probability p_n of link n.
-func New(eng *sim.Engine, success []float64) (*Medium, error) {
+func New(eng *sim.Engine, success []float64, opts ...Option) (*Medium, error) {
 	if len(success) == 0 {
 		return nil, fmt.Errorf("medium: no links")
 	}
@@ -107,12 +177,12 @@ func New(eng *sim.Engine, success []float64) (*Medium, error) {
 	}
 	ps := make([]float64, len(success))
 	copy(ps, success)
-	return NewWithModel(eng, len(ps), staticModel{probs: ps})
+	return NewWithModel(eng, len(ps), staticModel{probs: ps}, opts...)
 }
 
 // NewWithModel returns a channel whose delivery probabilities come from an
 // arbitrary (possibly time-varying) model.
-func NewWithModel(eng *sim.Engine, links int, model Model) (*Medium, error) {
+func NewWithModel(eng *sim.Engine, links int, model Model, opts ...Option) (*Medium, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("medium: nil engine")
 	}
@@ -122,12 +192,20 @@ func NewWithModel(eng *sim.Engine, links int, model Model) (*Medium, error) {
 	if model == nil {
 		return nil, fmt.Errorf("medium: nil channel model")
 	}
-	return &Medium{
+	m := &Medium{
 		eng:   eng,
 		links: links,
 		model: model,
 		rng:   eng.RNG("medium"),
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.reg == nil {
+		m.reg = telemetry.NewRegistry()
+	}
+	m.met = newChannelMetrics(m.reg)
+	return m, nil
 }
 
 // Links returns the number of links sharing the channel.
@@ -145,8 +223,34 @@ func (m *Medium) Busy() bool { return len(m.active) > 0 }
 // ActiveCount returns the number of overlapping in-flight transmissions.
 func (m *Medium) ActiveCount() int { return len(m.active) }
 
-// Stats returns a copy of the channel counters.
-func (m *Medium) Stats() Stats { return m.stats }
+// Stats returns a copy of the channel counters, read from the telemetry
+// registry they live in.
+func (m *Medium) Stats() Stats {
+	return Stats{
+		Transmissions: int(m.met.transmissions.Value()),
+		EmptyFrames:   int(m.met.emptyFrames.Value()),
+		Deliveries:    int(m.met.deliveries.Value()),
+		Losses:        int(m.met.losses.Value()),
+		Collisions:    int(m.met.collisions.Value()),
+		BusyTime:      sim.Time(m.met.busyUS.Value()),
+	}
+}
+
+// Airtime returns the channel-occupancy accounting: union busy time plus
+// summed per-category airtimes.
+func (m *Medium) Airtime() Airtime {
+	return Airtime{
+		Busy:     sim.Time(m.met.busyUS.Value()),
+		Data:     sim.Time(m.met.dataUS.Value()),
+		Empty:    sim.Time(m.met.emptyUS.Value()),
+		Collided: sim.Time(m.met.collidedUS.Value()),
+	}
+}
+
+// Registry returns the telemetry registry holding the channel counters —
+// the medium's own private registry unless WithRegistry supplied a shared
+// one.
+func (m *Medium) Registry() *telemetry.Registry { return m.reg }
 
 // Subscribe registers a carrier-sense listener. Listeners are notified in
 // subscription order, which keeps runs deterministic.
@@ -199,9 +303,9 @@ func (m *Medium) Start(link int, duration sim.Time, empty bool, onDone func(Outc
 	// keeps the channel continuously occupied: no idle/busy transition.
 	wasIdle := len(m.active) == 0 && !m.inFinish
 	m.active = append(m.active, tx)
-	m.stats.Transmissions++
+	m.met.transmissions.Inc()
 	if empty {
-		m.stats.EmptyFrames++
+		m.met.emptyFrames.Inc()
 	}
 	if wasIdle {
 		m.busySince = now
@@ -234,7 +338,7 @@ func (m *Medium) finish(tx *Transmission) {
 	}
 	if len(m.active) == 0 {
 		now := m.eng.Now()
-		m.stats.BusyTime += now - m.busySince
+		m.met.busyUS.Add(int64(now - m.busySince))
 		for _, l := range m.listeners {
 			l.ChannelIdle(now)
 		}
@@ -242,19 +346,23 @@ func (m *Medium) finish(tx *Transmission) {
 }
 
 func (m *Medium) resolve(tx *Transmission) Outcome {
+	airtime := int64(tx.End - tx.Start)
 	if tx.collided {
-		m.stats.Collisions++
+		m.met.collisions.Inc()
+		m.met.collidedUS.Add(airtime)
 		return Collided
 	}
 	if tx.Empty {
 		// Empty frames carry no payload and expect no ACK; an uncollided
 		// empty frame always serves its priority-claiming purpose.
+		m.met.emptyUS.Add(airtime)
 		return Delivered
 	}
+	m.met.dataUS.Add(airtime)
 	if m.rng.Bernoulli(m.model.Instantaneous(tx.Link, tx.End)) {
-		m.stats.Deliveries++
+		m.met.deliveries.Inc()
 		return Delivered
 	}
-	m.stats.Losses++
+	m.met.losses.Inc()
 	return Lost
 }

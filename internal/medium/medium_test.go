@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"rtmac/internal/sim"
+	"rtmac/internal/telemetry"
 )
 
 func newTestMedium(t *testing.T, seed uint64, p ...float64) (*sim.Engine, *Medium) {
@@ -312,5 +313,63 @@ func TestOutcomeString(t *testing.T) {
 		if got := tc.o.String(); got != tc.want {
 			t.Errorf("%d.String() = %q, want %q", int(tc.o), got, tc.want)
 		}
+	}
+}
+
+func TestAirtimeAccounting(t *testing.T) {
+	eng, m := newTestMedium(t, 1, 1, 1, 1)
+	// One clean data exchange of 100us.
+	m.Start(0, 100, false, nil)
+	eng.Run()
+	// One clean empty frame of 70us, starting at 100.
+	m.Start(1, 70, true, nil)
+	eng.Run()
+	// Two overlapping data transmissions: 50us and 80us starting together.
+	m.Start(0, 50, false, nil)
+	m.Start(2, 80, false, nil)
+	eng.Run()
+	at := m.Airtime()
+	if at.Data != 100 {
+		t.Errorf("data airtime = %v, want 100", at.Data)
+	}
+	if at.Empty != 70 {
+		t.Errorf("empty airtime = %v, want 70", at.Empty)
+	}
+	if at.Collided != 50+80 {
+		t.Errorf("collided airtime = %v, want 130 (summed, not union)", at.Collided)
+	}
+	// Union busy time: 100 + 70 + 80 (the collision burst spans 80us).
+	if at.Busy != 250 {
+		t.Errorf("busy airtime = %v, want 250 (union)", at.Busy)
+	}
+	if got := at.Utilization(eng.Now()); got != float64(250)/float64(250) {
+		t.Errorf("utilization = %v, want 1", got)
+	}
+	if got := m.Stats().BusyTime; got != at.Busy {
+		t.Errorf("Stats().BusyTime = %v disagrees with Airtime().Busy = %v", got, at.Busy)
+	}
+}
+
+func TestStatsRoutedThroughRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	eng := sim.NewEngine(1)
+	m, err := New(eng, []float64{1, 1}, WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Registry() != reg {
+		t.Fatal("medium did not adopt the shared registry")
+	}
+	m.Start(0, 100, false, nil)
+	eng.Run()
+	if got := reg.Counter("rtmac_tx_total", "").Value(); got != 1 {
+		t.Errorf("registry rtmac_tx_total = %d, want 1", got)
+	}
+	if got := reg.Counter("rtmac_tx_delivered_total", "").Value(); got != 1 {
+		t.Errorf("registry rtmac_tx_delivered_total = %d, want 1", got)
+	}
+	st := m.Stats()
+	if st.Transmissions != 1 || st.Deliveries != 1 {
+		t.Errorf("Stats() compatibility view = %+v, want 1 transmission / 1 delivery", st)
 	}
 }

@@ -60,12 +60,13 @@ func (q *eventQueue) Pop() any {
 // Engine is a sequential discrete-event simulator. It is not safe for
 // concurrent use; run one engine per goroutine.
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	seed    uint64
-	streams map[string]*RNG
-	fired   uint64
+	now        Time
+	queue      eventQueue
+	seq        uint64
+	seed       uint64
+	streams    map[string]*RNG
+	fired      uint64
+	maxPending int
 }
 
 // NewEngine returns an engine whose clock starts at zero. All randomness
@@ -90,6 +91,12 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// MaxPending returns the high-water mark of the event queue depth — the
+// telemetry gauge that shows how much simultaneous state a protocol keeps
+// scheduled, and the first number to look at when a run's memory or heap-
+// sift cost surprises.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
 // ScheduleAt registers fn to run at instant at. Scheduling in the past
 // panics: it always indicates a protocol bug, never a recoverable condition.
 func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
@@ -102,6 +109,9 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
 	t := &Timer{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, t)
+	if len(e.queue) > e.maxPending {
+		e.maxPending = len(e.queue)
+	}
 	return t
 }
 

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rtmac/internal/sim"
+)
+
+// Event is one structured observation from a running simulation. Events are
+// what the metric registry cannot express: individual occurrences with their
+// simulated timestamp and context, suitable for timeline reconstruction and
+// pathwise analysis (per-interval debt trajectories, swap dynamics, packet
+// outcomes).
+type Event struct {
+	// K is the interval index the event belongs to.
+	K int64 `json:"k"`
+	// At is the simulated time of the event in microseconds.
+	At sim.Time `json:"t"`
+	// Link is the link the event concerns, or -1 for network-wide events.
+	Link int `json:"link"`
+	// Kind names the event type (e.g. "tx", "interval", "swap", "debt").
+	Kind string `json:"kind"`
+	// Fields carries the kind-specific numeric payload. encoding/json
+	// serializes map keys in sorted order, which keeps the JSONL stream
+	// byte-for-byte deterministic for a fixed seed.
+	Fields map[string]float64 `json:"f,omitempty"`
+}
+
+// Canonical event kinds emitted by the simulator's instrumentation points.
+// The payload schemas are documented in docs/OBSERVABILITY.md.
+const (
+	// EventTx is one completed transmission: At is the end instant, Link
+	// the transmitter; fields dur (airtime µs), empty (0/1), outcome
+	// (medium.Outcome code).
+	EventTx = "tx"
+	// EventInterval summarizes one completed interval (Link = -1): fields
+	// arrivals, served, pending counts plus engine progress.
+	EventInterval = "interval"
+	// EventSwap is one DP priority-swap decision: fields pos (priority
+	// position), down, up (link ids), accepted (0/1).
+	EventSwap = "swap"
+	// EventDebt summarizes the debt vector after an interval's Eq. 1 update
+	// (Link = -1): fields max, mean, positive (links with positive debt).
+	EventDebt = "debt"
+)
+
+// Sink consumes events. Implementations must not retain the Fields map
+// beyond the call unless they own it.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// MultiSink fans one event out to several sinks in order.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// JSONLOption configures a JSONL sink.
+type JSONLOption func(*JSONL)
+
+// Sample keeps only one event in every `every` of the given kind (the first,
+// then every every-th after). Sampling keeps long runs bounded: a 10⁶-interval
+// run emits millions of "tx" events but only needs a thinned subsample for
+// timeline inspection.
+func Sample(kind string, every int) JSONLOption {
+	return func(j *JSONL) {
+		if every > 1 {
+			j.sample[kind] = every
+		}
+	}
+}
+
+// Only restricts the stream to the listed kinds; all other kinds are
+// dropped. Without it every kind passes.
+func Only(kinds ...string) JSONLOption {
+	return func(j *JSONL) {
+		if j.only == nil {
+			j.only = make(map[string]bool, len(kinds))
+		}
+		for _, k := range kinds {
+			j.only[k] = true
+		}
+	}
+}
+
+// JSONL streams events to an io.Writer, one JSON object per line. Encoding
+// errors are sticky: the first one is retained and all later events are
+// dropped, so a failed disk write cannot silently truncate mid-record.
+type JSONL struct {
+	w      *bufio.Writer
+	enc    *json.Encoder
+	sample map[string]int
+	seen   map[string]int
+	only   map[string]bool
+	count  int64
+	err    error
+}
+
+// NewJSONL returns a sink writing JSON Lines to w. Call Flush when done.
+func NewJSONL(w io.Writer, opts ...JSONLOption) *JSONL {
+	bw := bufio.NewWriter(w)
+	j := &JSONL{
+		w:      bw,
+		enc:    json.NewEncoder(bw),
+		sample: make(map[string]int),
+		seen:   make(map[string]int),
+	}
+	for _, opt := range opts {
+		opt(j)
+	}
+	return j
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(ev Event) {
+	if j.err != nil {
+		return
+	}
+	if j.only != nil && !j.only[ev.Kind] {
+		return
+	}
+	if every, ok := j.sample[ev.Kind]; ok {
+		n := j.seen[ev.Kind]
+		j.seen[ev.Kind] = n + 1
+		if n%every != 0 {
+			return
+		}
+	}
+	if err := j.enc.Encode(ev); err != nil {
+		j.err = fmt.Errorf("telemetry: event stream: %w", err)
+		return
+	}
+	j.count++
+}
+
+// Count returns how many events were written (after filtering/sampling).
+func (j *JSONL) Count() int64 { return j.count }
+
+// Flush drains the buffer and returns the first error encountered by the
+// stream, if any.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = fmt.Errorf("telemetry: event stream: %w", err)
+	}
+	return j.err
+}
+
+// DecodeJSONL parses a JSONL event stream back into events — the read side
+// of the round trip, used by tests and analysis tooling.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("telemetry: decode event %d: %w", len(out), err)
+		}
+		out = append(out, ev)
+	}
+}

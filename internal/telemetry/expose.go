@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// promFloat renders a float the way Prometheus text exposition expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name so output is stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		var err error
+		switch m.kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.ctr.Value())
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, promFloat(m.gge.Value()))
+		case KindHistogram:
+			err = writePromHistogram(w, m.name, m.hst.Snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[len(s.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Total)
+	return err
+}
+
+// MetricSnapshot is the JSON form of one metric.
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Kind string `json:"kind"`
+	// Value holds the counter count or gauge level; unused for histograms.
+	Value float64 `json:"value,omitempty"`
+	// Histogram fields.
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Total  uint64    `json:"total,omitempty"`
+}
+
+// Snapshot returns every metric's current state, sorted by name.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	ms := r.sorted()
+	out := make([]MetricSnapshot, 0, len(ms))
+	for _, m := range ms {
+		snap := MetricSnapshot{Name: m.name, Help: m.help, Kind: m.kind.String()}
+		switch m.kind {
+		case KindCounter:
+			snap.Value = float64(m.ctr.Value())
+		case KindGauge:
+			snap.Value = m.gge.Value()
+		case KindHistogram:
+			h := m.hst.Snapshot()
+			snap.Bounds, snap.Counts, snap.Sum, snap.Total = h.Bounds, h.Counts, h.Sum, h.Total
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// WriteJSON renders the registry as an indented JSON array of metric
+// snapshots.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest records the provenance of one simulation run: everything needed
+// to re-run it (seed, configuration), to trust it (build identity), and to
+// gauge its cost (wall-clock timings). It is written alongside results so a
+// metrics dump or event stream is never orphaned from the run that produced
+// it.
+type Manifest struct {
+	// Tool names the producing binary or experiment.
+	Tool string `json:"tool"`
+	// Seed is the simulation seed; equal seed + config reproduce the run.
+	Seed uint64 `json:"seed"`
+	// Protocol and Profile identify the policy and PHY timing under test.
+	Protocol string `json:"protocol,omitempty"`
+	Profile  string `json:"profile,omitempty"`
+	// Links is N, Intervals the simulated horizon.
+	Links     int   `json:"links,omitempty"`
+	Intervals int64 `json:"intervals,omitempty"`
+	// Config carries arbitrary extra configuration (flag values, scenario
+	// path) as flat key/value strings.
+	Config map[string]string `json:"config,omitempty"`
+	// GoVersion, VCSRevision and VCSModified identify the build
+	// (git-describe analogue, read from the binary's embedded build info).
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+	// Started and Elapsed are wall-clock timings; SimTimeUS is the simulated
+	// horizon in microseconds, so SimTimeUS/Elapsed is the real-time factor.
+	Started   time.Time     `json:"started"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	SimTimeUS int64         `json:"sim_time_us,omitempty"`
+	// Events counts the structured events written, if a stream was active.
+	Events int64 `json:"events,omitempty"`
+}
+
+// NewManifest returns a manifest stamped with the current build identity and
+// start time.
+func NewManifest(tool string, seed uint64) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		Started:   time.Now().UTC(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.VCSRevision = s.Value
+			case "vcs.modified":
+				m.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// Finish stamps the elapsed wall-clock time since Started.
+func (m *Manifest) Finish() { m.Elapsed = time.Since(m.Started) }
+
+// WriteJSON renders the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -12,6 +12,7 @@ import (
 
 	"rtmac/internal/medium"
 	"rtmac/internal/sim"
+	"rtmac/internal/telemetry"
 )
 
 // Record is one completed transmission.
@@ -65,13 +66,43 @@ func (r *Recorder) add(rec Record) {
 // Total returns how many transmissions were observed, including evicted ones.
 func (r *Recorder) Total() int64 { return r.total }
 
-// Records returns the retained transmissions in chronological order.
-func (r *Recorder) Records() []Record {
+// Snapshot returns the retained transmissions in arrival order, oldest
+// first, regardless of how often the ring has wrapped. The returned slice is
+// a copy and safe to hold across further recording.
+func (r *Recorder) Snapshot() []Record {
 	out := make([]Record, 0, len(r.ring))
-	out = append(out, r.ring[r.next:]...)
-	out = append(out, r.ring[:r.next]...)
-	return out
+	if len(r.ring) == r.capacity {
+		// Full ring: next points at the oldest surviving record.
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+		return out
+	}
+	return append(out, r.ring...)
 }
+
+// Records returns the retained transmissions in chronological order. Since
+// records are added as transmissions complete, chronological order is
+// arrival order; Records is Snapshot under its historical name.
+func (r *Recorder) Records() []Record { return r.Snapshot() }
+
+// Emit implements telemetry.Sink: the recorder captures "tx" events from a
+// telemetry event stream exactly as it captures medium trace hooks, so a
+// simulation needs only one instrumentation hook feeding both systems.
+// Events of other kinds are ignored.
+func (r *Recorder) Emit(ev telemetry.Event) {
+	if ev.Kind != telemetry.EventTx {
+		return
+	}
+	r.add(Record{
+		Link:    ev.Link,
+		Start:   ev.At - sim.Time(ev.Fields["dur"]),
+		End:     ev.At,
+		Empty:   ev.Fields["empty"] != 0,
+		Outcome: medium.Outcome(ev.Fields["outcome"]),
+	})
+}
+
+var _ telemetry.Sink = (*Recorder)(nil)
 
 // WriteLog renders the retained records one per line.
 func (r *Recorder) WriteLog(w io.Writer) error {

@@ -7,6 +7,7 @@ import (
 
 	"rtmac/internal/medium"
 	"rtmac/internal/sim"
+	"rtmac/internal/telemetry"
 )
 
 func TestNewRecorderValidation(t *testing.T) {
@@ -122,5 +123,54 @@ func TestRenderTimelineClipsOutOfWindow(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "D") {
 		t.Fatalf("straddling record not drawn:\n%s", out)
+	}
+}
+
+func TestSnapshotArrivalOrderAcrossWrap(t *testing.T) {
+	r, err := NewRecorder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		r.add(Record{Link: i, Start: sim.Time(i * 100), End: sim.Time(i*100 + 50)})
+	}
+	if r.Total() != 7 {
+		t.Errorf("Total = %d, want 7", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot length = %d, want 3", len(snap))
+	}
+	for i, rec := range snap {
+		if want := 4 + i; rec.Link != want {
+			t.Errorf("snapshot[%d].Link = %d, want %d (arrival order)", i, rec.Link, want)
+		}
+	}
+	// Records is defined as Snapshot.
+	recs := r.Records()
+	for i := range recs {
+		if recs[i] != snap[i] {
+			t.Errorf("Records()[%d] = %+v differs from Snapshot()[%d] = %+v", i, recs[i], i, snap[i])
+		}
+	}
+}
+
+func TestRecorderAsTelemetrySink(t *testing.T) {
+	r, err := NewRecorder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Emit(telemetry.Event{
+		K: 0, At: 220, Link: 2, Kind: telemetry.EventTx,
+		Fields: map[string]float64{"dur": 120, "empty": 0, "outcome": float64(medium.Lost)},
+	})
+	r.Emit(telemetry.Event{K: 0, At: 2000, Link: -1, Kind: telemetry.EventInterval}) // ignored
+	recs := r.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1 (non-tx events ignored)", len(recs))
+	}
+	want := Record{Link: 2, Start: 100, End: 220, Empty: false, Outcome: medium.Lost}
+	if recs[0] != want {
+		t.Errorf("record = %+v, want %+v", recs[0], want)
 	}
 }

@@ -28,6 +28,11 @@ type ChannelReport struct {
 	Deliveries, Losses, Collisions int
 	// BusyShare is the fraction of simulated time the channel was occupied.
 	BusyShare float64
+	// DataShare, EmptyShare and CollidedShare split simulated time by what
+	// the channel carried: clean data exchanges, clean priority-claiming
+	// frames, and airtime destroyed by overlap (summed per transmission, so
+	// CollidedShare can exceed the wall-clock span of the collisions).
+	DataShare, EmptyShare, CollidedShare float64
 }
 
 // Report is a full summary of a simulation so far.
@@ -53,9 +58,14 @@ func (s *Simulation) Report() Report {
 		}
 	}
 	st := s.nw.Medium().Stats()
-	busyShare := 0.0
+	at := s.nw.Medium().Airtime()
+	busyShare, dataShare, emptyShare, collidedShare := 0.0, 0.0, 0.0, 0.0
 	if now := s.nw.Engine().Now(); now > 0 {
-		busyShare = float64(st.BusyTime) / float64(now)
+		span := float64(now)
+		busyShare = float64(at.Busy) / span
+		dataShare = float64(at.Data) / span
+		emptyShare = float64(at.Empty) / span
+		collidedShare = float64(at.Collided) / span
 	}
 	return Report{
 		Protocol:        s.prot.Name(),
@@ -69,6 +79,9 @@ func (s *Simulation) Report() Report {
 			Losses:        st.Losses,
 			Collisions:    st.Collisions,
 			BusyShare:     busyShare,
+			DataShare:     dataShare,
+			EmptyShare:    emptyShare,
+			CollidedShare: collidedShare,
 		},
 	}
 }
@@ -84,6 +97,8 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "channel: %d transmissions (%d empty), %d delivered, %d lost, %d collided, %.1f%% busy\n",
 		r.Channel.Transmissions, r.Channel.EmptyFrames, r.Channel.Deliveries,
 		r.Channel.Losses, r.Channel.Collisions, 100*r.Channel.BusyShare)
+	fmt.Fprintf(&b, "airtime: %.1f%% data, %.1f%% empty frames, %.1f%% collided\n",
+		100*r.Channel.DataShare, 100*r.Channel.EmptyShare, 100*r.Channel.CollidedShare)
 	fmt.Fprintf(&b, "%4s  %9s  %10s  %10s  %7s\n", "link", "required", "throughput", "deficiency", "ratio")
 	for i, l := range r.Links {
 		fmt.Fprintf(&b, "%4d  %9.4f  %10.4f  %10.4f  %6.2f%%\n",

@@ -47,6 +47,7 @@ import (
 	"rtmac/internal/metrics"
 	"rtmac/internal/phy"
 	"rtmac/internal/sim"
+	"rtmac/internal/telemetry"
 )
 
 // Link configures one wireless link.
@@ -123,6 +124,8 @@ type Simulation struct {
 	req             []float64
 	prot            mac.Protocol
 	profileInterval sim.Time
+	events          *telemetry.JSONL
+	manifest        *telemetry.Manifest
 }
 
 // NewSimulation validates cfg and builds the network.
@@ -189,12 +192,17 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rtmac: %w", err)
 	}
+	manifest := telemetry.NewManifest("rtmac", cfg.Seed)
+	manifest.Protocol = prot.Name()
+	manifest.Profile = cfg.Profile.p.Name
+	manifest.Links = n
 	return &Simulation{
 		nw:              nw,
 		col:             col,
 		req:             req,
 		prot:            prot,
 		profileInterval: cfg.Profile.p.Interval,
+		manifest:        manifest,
 	}, nil
 }
 
