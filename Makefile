@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures figures-quick telemetry-smoke fuzz cover clean
+.PHONY: all build vet test test-short bench bench-json figures figures-quick telemetry-smoke monitor-smoke fuzz cover clean
 
 all: build vet test
 
@@ -20,6 +20,11 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable interval benchmarks: one dated BENCH_<date>.json tracking
+# ns/interval and intervals/sec per protocol across commits.
+bench-json:
+	$(GO) run ./cmd/benchtrend
 
 # Regenerate every figure of the paper at full fidelity (plus CSVs).
 figures:
@@ -39,6 +44,21 @@ telemetry-smoke:
 	test -s /tmp/rtmac-events.jsonl
 	grep -q '^rtmac_tx_total ' /tmp/rtmac-metrics.prom
 	$(GO) run ./cmd/rtmacsim -checkevents /tmp/rtmac-events.jsonl
+
+# End-to-end check of the runtime invariant monitor: a short DB-DP run under
+# the strict monitor must finish with zero violations, the Perfetto trace
+# must parse, the flight-recorder dump must be present and pass the same
+# offline audit the live run passed.
+monitor-smoke:
+	$(GO) run ./cmd/rtmacsim -protocol dbdp -intervals 300 \
+		-monitor -strict \
+		-perfetto /tmp/rtmac-trace.json \
+		-flightrecorder /tmp/rtmac-flight.jsonl \
+		-events /tmp/rtmac-monitor-events.jsonl
+	$(GO) run ./cmd/rtmacsim -checkperfetto /tmp/rtmac-trace.json
+	$(GO) run ./cmd/rtmacsim -checkevents /tmp/rtmac-monitor-events.jsonl
+	$(GO) run ./cmd/rtmacsim -checkevents /tmp/rtmac-flight.jsonl
+	test -s /tmp/rtmac-flight.jsonl.txt
 
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario

@@ -1,0 +1,191 @@
+// Command benchtrend measures the simulator's interval throughput for every
+// protocol with testing.Benchmark and writes the results as one dated JSON
+// document, so performance can be tracked across commits without parsing
+// `go test -bench` text output.
+//
+// Usage:
+//
+//	benchtrend                  # write BENCH_<date>.json in the cwd
+//	benchtrend -out results/    # write into a directory
+//	benchtrend -out trend.json  # write to an explicit file
+//	benchtrend -benchtime 2s    # longer measurement per protocol
+//
+// Each entry reports ns per simulated interval, allocations, bytes and the
+// derived intervals-per-second on the paper's control scenario (10 links,
+// Bernoulli 0.78 arrivals, 99% delivery ratio) — the same workload as the
+// BenchmarkInterval* benchmarks in the repository root.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rtmac"
+)
+
+// Result is one protocol's measurement.
+type Result struct {
+	Protocol        string  `json:"protocol"`
+	Iterations      int     `json:"iterations"`
+	NsPerInterval   float64 `json:"ns_per_interval"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	IntervalsPerSec float64 `json:"intervals_per_sec"`
+}
+
+// Report is the full dated document.
+type Report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Benchtime string   `json:"benchtime"`
+	Scenario  string   `json:"scenario"`
+	Results   []Result `json:"results"`
+}
+
+// protocols lists the measured policies; the order is the report order.
+func protocols() []struct {
+	name string
+	p    rtmac.Protocol
+} {
+	return []struct {
+		name string
+		p    rtmac.Protocol
+	}{
+		{"dbdp", rtmac.DBDP()},
+		{"ldf", rtmac.LDF()},
+		{"fcsma", rtmac.FCSMA()},
+		{"framecsma", rtmac.FrameCSMA()},
+		{"tdma", rtmac.TDMA()},
+		{"dcf", rtmac.DCF()},
+	}
+}
+
+// benchProtocol measures one protocol: each b.N is a simulated interval on
+// the control scenario, mirroring BenchmarkIntervalDBDP and friends.
+func benchProtocol(p rtmac.Protocol) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		links := make([]rtmac.Link, 10)
+		for i := range links {
+			links[i] = rtmac.Link{
+				SuccessProb:   0.7,
+				Arrivals:      rtmac.MustBernoulliArrivals(0.78),
+				DeliveryRatio: 0.99,
+			}
+		}
+		s, err := rtmac.NewSimulation(rtmac.Config{
+			Seed:     1,
+			Profile:  rtmac.ControlProfile(),
+			Links:    links,
+			Protocol: p,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if err := s.Run(b.N); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// buildReport runs every protocol benchmark and assembles the document.
+func buildReport(now time.Time, benchtime time.Duration) Report {
+	rep := Report{
+		Date:      now.UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: benchtime.String(),
+		Scenario:  "control profile, 10 links, Bernoulli 0.78, ratio 0.99, seed 1",
+	}
+	for _, pr := range protocols() {
+		res := testing.Benchmark(benchProtocol(pr.p))
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		entry := Result{
+			Protocol:      pr.name,
+			Iterations:    res.N,
+			NsPerInterval: ns,
+			AllocsPerOp:   res.AllocsPerOp(),
+			BytesPerOp:    res.AllocedBytesPerOp(),
+		}
+		if ns > 0 {
+			entry.IntervalsPerSec = 1e9 / ns
+		}
+		rep.Results = append(rep.Results, entry)
+	}
+	return rep
+}
+
+// outputPath resolves -out: empty means BENCH_<date>.json in the cwd, a
+// directory means BENCH_<date>.json inside it, anything else is the file.
+func outputPath(out, date string) string {
+	name := "BENCH_" + date + ".json"
+	if out == "" {
+		return name
+	}
+	if st, err := os.Stat(out); err == nil && st.IsDir() {
+		return filepath.Join(out, name)
+	}
+	if strings.HasSuffix(out, string(os.PathSeparator)) {
+		return filepath.Join(out, name)
+	}
+	return out
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "output file, or directory for the dated default name (default BENCH_<date>.json)")
+		benchtime = flag.Duration("benchtime", time.Second, "measurement time per protocol")
+	)
+	// testing.Init registers the test.* flags testing.Benchmark reads;
+	// without it Benchmark panics outside a test binary.
+	testing.Init()
+	flag.Parse()
+
+	// testing.Benchmark honors the package-level benchtime flag.
+	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		fatal(err)
+	}
+	rep := buildReport(time.Now(), *benchtime)
+	path := outputPath(*out, rep.Date)
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-10s %12.0f ns/interval %10.0f intervals/s %6d allocs/op\n",
+			r.Protocol, r.NsPerInterval, r.IntervalsPerSec, r.AllocsPerOp)
+	}
+	fmt.Println("wrote", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtrend:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuildReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	rep := buildReport(time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC), 10*time.Millisecond)
+	if rep.Date != "2026-08-06" {
+		t.Errorf("date = %q", rep.Date)
+	}
+	want := len(protocols())
+	if len(rep.Results) != want {
+		t.Fatalf("got %d results, want %d", len(rep.Results), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		if seen[r.Protocol] {
+			t.Errorf("duplicate protocol %q", r.Protocol)
+		}
+		seen[r.Protocol] = true
+		if r.Iterations <= 0 {
+			t.Errorf("%s: no iterations", r.Protocol)
+		}
+		if r.NsPerInterval <= 0 {
+			t.Errorf("%s: ns/interval %v", r.Protocol, r.NsPerInterval)
+		}
+		if r.IntervalsPerSec <= 0 {
+			t.Errorf("%s: intervals/s %v", r.Protocol, r.IntervalsPerSec)
+		}
+	}
+	for _, name := range []string{"dbdp", "ldf", "fcsma", "framecsma", "tdma", "dcf"} {
+		if !seen[name] {
+			t.Errorf("missing protocol %q", name)
+		}
+	}
+}
+
+func TestOutputPath(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		out, want string
+	}{
+		{"", "BENCH_2026-08-06.json"},
+		{"trend.json", "trend.json"},
+		{dir, dir + "/BENCH_2026-08-06.json"},
+	}
+	for _, c := range cases {
+		if got := outputPath(c.out, "2026-08-06"); got != c.want {
+			t.Errorf("outputPath(%q) = %q, want %q", c.out, got, c.want)
+		}
+	}
+}

@@ -31,6 +31,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available figure IDs and exit")
 		extended = flag.Bool("extended", false, "run the beyond-paper figures too")
 		htmlPath = flag.String("html", "", "write all regenerated figures into one self-contained HTML report")
+		monitor  = flag.Bool("monitor", true, "run the strict invariant monitor inside every simulation; a violation fails the figure")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 	opts := experiment.RunOptions{
 		Seeds:         *seeds,
 		IntervalScale: *scale,
+		Monitor:       *monitor,
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr

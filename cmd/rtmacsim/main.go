@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -45,11 +46,22 @@ func main() {
 		sampleTx   = flag.Int("sample-tx", 1, "keep one in every N per-transmission events in the event stream (1 keeps all)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
-		checkev    = flag.String("checkevents", "", "validate a JSONL event file written by -events, print its event count, and exit")
+		checkev    = flag.String("checkevents", "", "audit a JSONL event file written by -events: validate the format and run the invariant checkers over it, then exit")
+		monitorOn  = flag.Bool("monitor", false, "run the invariant monitor over the live event stream and report violations")
+		strict     = flag.Bool("strict", false, "with the monitor, abort the run at the first invariant violation (implies -monitor)")
+		perfetto   = flag.String("perfetto", "", "export a Perfetto/Chrome trace_event JSON file of the run (open at ui.perfetto.dev)")
+		flight     = flag.String("flightrecorder", "", "dump the flight recorder (last 64 intervals of events) to this JSONL file, plus a .txt timeline alongside (implies -monitor)")
+		checkperf  = flag.String("checkperfetto", "", "validate a trace_event JSON file written by -perfetto, print its event count, and exit")
 	)
 	flag.Parse()
 	if *checkev != "" {
 		if err := checkEvents(*checkev); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *checkperf != "" {
+		if err := checkPerfetto(*checkperf); err != nil {
 			fatal(err)
 		}
 		return
@@ -61,6 +73,10 @@ func main() {
 	eventSampleTx = *sampleTx
 	cpuprofilePath = *cpuprofile
 	memprofilePath = *memprofile
+	monitorEnabled = *monitorOn || *strict || *flight != ""
+	monitorStrict = *strict
+	perfettoPath = *perfetto
+	flightPath = *flight
 
 	if *configPath != "" {
 		cfg, net, configIntervals, err := scenario.LoadAnyFile(*configPath)
@@ -106,6 +122,10 @@ var (
 	eventSampleTx  int
 	cpuprofilePath string
 	memprofilePath string
+	monitorEnabled bool
+	monitorStrict  bool
+	perfettoPath   string
+	flightPath     string
 	topo           *topology.Network
 )
 
@@ -139,6 +159,22 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		}
 		stream = sim.StreamEvents(eventsFile, opts...)
 	}
+	var trace *rtmac.PerfettoTrace
+	var perfettoFile *os.File
+	if perfettoPath != "" {
+		perfettoFile, err = os.Create(perfettoPath)
+		if err != nil {
+			fatal(err)
+		}
+		trace = sim.ExportPerfetto(perfettoFile)
+	}
+	var mon *rtmac.Monitor
+	if monitorEnabled {
+		mon, err = sim.EnableMonitor(rtmac.MonitorConfig{Strict: monitorStrict})
+		if err != nil {
+			fatal(err)
+		}
+	}
 	if cpuprofilePath != "" {
 		f, err := os.Create(cpuprofilePath)
 		if err != nil {
@@ -151,8 +187,18 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		defer pprof.StopCPUProfile()
 	}
 	start := time.Now()
-	if err := sim.Run(intervals); err != nil {
-		fatal(err)
+	runErr := sim.Run(intervals)
+	if runErr != nil && mon != nil {
+		// A strict-mode abort still gets its post-mortem artifacts: the
+		// violating window is exactly what the flight recorder retains.
+		dumpFlightRecorder(mon)
+		reportViolations(mon)
+	}
+	if runErr != nil {
+		if trace != nil {
+			trace.Flush()
+		}
+		fatal(runErr)
 	}
 	if stream != nil {
 		if err := stream.Flush(); err != nil {
@@ -161,6 +207,19 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		if err := eventsFile.Close(); err != nil {
 			fatal(err)
 		}
+	}
+	if trace != nil {
+		if err := trace.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := perfettoFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("perfetto trace: %d events -> %s\n", trace.Count(), perfettoPath)
+	}
+	if mon != nil {
+		dumpFlightRecorder(mon)
+		reportViolations(mon)
 	}
 	if memprofilePath != "" {
 		f, err := os.Create(memprofilePath)
@@ -251,9 +310,55 @@ func dumpTelemetry(sim *rtmac.Simulation, cfg rtmac.Config, intervals int) error
 	return write(telemetryPath+".manifest.json", func(f *os.File) error { return manifest.WriteJSON(f) })
 }
 
-// checkEvents validates a JSONL event file end to end: every line must
-// parse and at least one event must be present. Used by `make
-// telemetry-smoke` and CI to guard the stream format.
+// dumpFlightRecorder writes the retained event window to flightPath (JSONL,
+// auditable with -checkevents) and a human-readable timeline alongside.
+// Best-effort: called on the strict-abort path too, where the run error is
+// the news and a dump failure must not mask it.
+func dumpFlightRecorder(mon *rtmac.Monitor) {
+	if flightPath == "" {
+		return
+	}
+	write := func(path string, render func(w io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(flightPath, mon.WriteFlightRecorder); err != nil {
+		fmt.Fprintln(os.Stderr, "rtmacsim: flight recorder:", err)
+		return
+	}
+	if err := write(flightPath+".txt", mon.WriteFlightRecorderTimeline); err != nil {
+		fmt.Fprintln(os.Stderr, "rtmacsim: flight recorder:", err)
+		return
+	}
+	fmt.Printf("flight recorder: %d events -> %s (timeline %s.txt)\n",
+		mon.FlightRecorderEvents(), flightPath, flightPath)
+}
+
+// reportViolations prints the monitor's verdict and details the retained
+// violations when there are any.
+func reportViolations(mon *rtmac.Monitor) {
+	if mon.Count() == 0 {
+		fmt.Println("monitor: no invariant violations")
+		return
+	}
+	fmt.Printf("monitor: %d invariant violations\n", mon.Count())
+	for _, v := range mon.Violations() {
+		fmt.Printf("  %s\n", v)
+	}
+}
+
+// checkEvents audits a JSONL event file end to end: every line must parse,
+// at least one event must be present, and the recorded run must pass the
+// invariant checkers (offline, with the monitoring configuration inferred
+// from the stream). Used by `make telemetry-smoke`, `make monitor-smoke`
+// and CI to guard both the stream format and the run it records.
 func checkEvents(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -272,13 +377,41 @@ func checkEvents(path string) error {
 		kinds[ev.Kind]++
 	}
 	fmt.Printf("%s: %d events ok (", path, len(events))
-	for i, kind := range []string{"tx", "interval", "swap", "debt"} {
+	for i, kind := range []string{"tx", "interval", "swap", "debt", "backoff", "prio", "violation"} {
 		if i > 0 {
 			fmt.Print(", ")
 		}
 		fmt.Printf("%d %s", kinds[kind], kind)
 	}
 	fmt.Println(")")
+	violations, err := rtmac.AuditEvents(events)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		return fmt.Errorf("%s: %d invariant violations", path, len(violations))
+	}
+	fmt.Printf("%s: invariant audit clean\n", path)
+	return nil
+}
+
+// checkPerfetto validates a trace_event JSON file written by -perfetto and
+// prints its event count. Used by `make monitor-smoke` and CI to guard that
+// exported traces load in a viewer.
+func checkPerfetto(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := rtmac.ValidatePerfettoTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: %d trace events ok\n", path, n)
 	return nil
 }
 

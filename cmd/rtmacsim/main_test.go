@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rtmac"
+)
 
 func TestProfileByName(t *testing.T) {
 	for _, name := range []string{"video", "control"} {
@@ -50,5 +57,91 @@ func TestProtocolByName(t *testing.T) {
 	}
 	if _, err := protocolByName("dbdp", 3); err != nil {
 		t.Error("multi-pair dbdp rejected")
+	}
+}
+
+// runForArtifacts simulates a short DB-DP run writing an event stream and a
+// Perfetto trace, returning both paths.
+func runForArtifacts(t *testing.T) (eventsPath, tracePath string) {
+	t.Helper()
+	dir := t.TempDir()
+	eventsPath = filepath.Join(dir, "events.jsonl")
+	tracePath = filepath.Join(dir, "trace.json")
+	links := make([]rtmac.Link, 5)
+	for i := range links {
+		links[i] = rtmac.Link{
+			SuccessProb:   0.7,
+			Arrivals:      rtmac.MustBernoulliArrivals(0.78),
+			DeliveryRatio: 0.99,
+		}
+	}
+	s, err := rtmac.NewSimulation(rtmac.Config{
+		Seed: 3, Profile: rtmac.ControlProfile(), Links: links, Protocol: rtmac.DBDP(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := os.Create(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	stream := s.StreamEvents(ef)
+	trace := s.ExportPerfetto(tf)
+	if err := s.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return eventsPath, tracePath
+}
+
+func TestCheckEventsAuditsRecordedRun(t *testing.T) {
+	eventsPath, _ := runForArtifacts(t)
+	if err := checkEvents(eventsPath); err != nil {
+		t.Fatalf("clean recorded run failed the audit: %v", err)
+	}
+}
+
+func TestCheckEventsFlagsCorruptedStream(t *testing.T) {
+	eventsPath, _ := runForArtifacts(t)
+	// Forge a collision into the recorded collision-free run.
+	forged := `{"k":0,"at":150,"link":0,"kind":"tx","fields":{"dur":100,"empty":0,"outcome":2}}` + "\n"
+	data, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(eventsPath, append([]byte(forged), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = checkEvents(eventsPath)
+	if err == nil {
+		t.Fatal("forged collision passed the audit")
+	}
+	if !strings.Contains(err.Error(), "violation") {
+		t.Errorf("error %q does not mention violations", err)
+	}
+}
+
+func TestCheckPerfetto(t *testing.T) {
+	_, tracePath := runForArtifacts(t)
+	if err := checkPerfetto(tracePath); err != nil {
+		t.Fatalf("exported trace failed validation: %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPerfetto(bad); err == nil {
+		t.Fatal("garbage trace passed validation")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"rtmac/internal/mac/framecsma"
 	"rtmac/internal/mac/ldf"
 	"rtmac/internal/metrics"
+	"rtmac/internal/monitor"
 	"rtmac/internal/phy"
 	"rtmac/internal/stats"
 )
@@ -45,6 +46,10 @@ type RunOptions struct {
 	// BaseSeed offsets every replication seed, for independent repetitions
 	// of whole figures.
 	BaseSeed uint64
+	// Monitor runs the strict invariant monitor inside every simulation: a
+	// violation of the paper's structural guarantees fails the figure instead
+	// of silently skewing its curves.
+	Monitor bool
 }
 
 func (o RunOptions) fill() RunOptions {
@@ -101,19 +106,23 @@ type Figure interface {
 }
 
 // protocolSpec names one policy and knows how to build a fresh instance.
+// collisionFree and swapPairs parameterize the invariant monitor when
+// RunOptions.Monitor is set.
 type protocolSpec struct {
-	label string
-	build func(n int) (mac.Protocol, error)
+	label         string
+	build         func(n int) (mac.Protocol, error)
+	collisionFree bool
+	swapPairs     int
 }
 
 func dbdpSpec() protocolSpec {
-	return protocolSpec{label: "DB-DP", build: func(n int) (mac.Protocol, error) {
+	return protocolSpec{label: "DB-DP", collisionFree: true, build: func(n int) (mac.Protocol, error) {
 		return core.NewDBDP(n)
 	}}
 }
 
 func ldfSpec() protocolSpec {
-	return protocolSpec{label: "LDF", build: func(n int) (mac.Protocol, error) {
+	return protocolSpec{label: "LDF", collisionFree: true, build: func(n int) (mac.Protocol, error) {
 		return ldf.NewLDF(), nil
 	}}
 }
@@ -131,7 +140,7 @@ func dcfSpec() protocolSpec {
 }
 
 func framecsmaSpec() protocolSpec {
-	return protocolSpec{label: "Frame-CSMA", build: func(n int) (mac.Protocol, error) {
+	return protocolSpec{label: "Frame-CSMA", collisionFree: true, build: func(n int) (mac.Protocol, error) {
 		return framecsma.New(framecsma.DefaultConfig())
 	}}
 }
@@ -147,7 +156,9 @@ type scenario struct {
 }
 
 // runOne simulates a scenario under a protocol and returns the collector.
-func runOne(sc scenario, spec protocolSpec, seed uint64) (*metrics.Collector, mac.Protocol, error) {
+// With withMonitor, the strict invariant monitor rides along and the run
+// fails at the end of the first violating interval.
+func runOne(sc scenario, spec protocolSpec, seed uint64, withMonitor bool) (*metrics.Collector, mac.Protocol, error) {
 	prot, err := spec.build(len(sc.successProb))
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiment: building %s: %w", spec.label, err)
@@ -171,6 +182,21 @@ func runOne(sc scenario, spec protocolSpec, seed uint64) (*metrics.Collector, ma
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	if withMonitor {
+		mon, err := monitor.New(monitor.Config{
+			Links:         len(sc.successProb),
+			Interval:      sc.profile.Interval,
+			CollisionFree: spec.collisionFree,
+			SwapPairs:     spec.swapPairs,
+			Strict:        true,
+			Registry:      nw.Telemetry(),
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiment: %s: %w", spec.label, err)
+		}
+		nw.SetEventSink(mon)
+		nw.SetIntervalCheck(mon.Err)
 	}
 	if err := nw.Run(sc.intervals); err != nil {
 		return nil, nil, err
@@ -205,7 +231,7 @@ func runJobs(jobs []job, opts RunOptions) error {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			col, _, err := runOne(j.sc, j.spec, j.seed)
+			col, _, err := runOne(j.sc, j.spec, j.seed, opts.Monitor)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -45,7 +45,7 @@ func (f *overheadFigure) Run(opts RunOptions) (*Result, error) {
 		}
 		var acc stats.Accumulator
 		for s := 0; s < opts.Seeds; s++ {
-			col, _, err := runOne(sc, dbdpSpec(), opts.BaseSeed+uint64(s)*7919)
+			col, _, err := runOne(sc, dbdpSpec(), opts.BaseSeed+uint64(s)*7919, opts.Monitor)
 			if err != nil {
 				return nil, fmt.Errorf("experiment %s: %w", f.id, err)
 			}
@@ -128,7 +128,9 @@ func (swapPairsFigure) Run(opts RunOptions) (*Result, error) {
 	for _, pairs := range []int{1, 3, 6} {
 		pairs := pairs
 		spec := protocolSpec{
-			label: fmt.Sprintf("%d pair(s)", pairs),
+			label:         fmt.Sprintf("%d pair(s)", pairs),
+			collisionFree: true,
+			swapPairs:     pairs,
 			build: func(n int) (mac.Protocol, error) {
 				if pairs == 1 {
 					return core.NewDBDP(n)
@@ -136,7 +138,7 @@ func (swapPairsFigure) Run(opts RunOptions) (*Result, error) {
 				return core.New(n, core.PaperDebtGlauber(), core.WithPairs(pairs))
 			},
 		}
-		col, _, err := runOne(sc, spec, opts.BaseSeed)
+		col, _, err := runOne(sc, spec, opts.BaseSeed, opts.Monitor)
 		if err != nil {
 			return nil, fmt.Errorf("experiment extra-swappairs: %w", err)
 		}

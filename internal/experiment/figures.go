@@ -273,7 +273,7 @@ func (convergenceFigure) Run(opts RunOptions) (*Result, error) {
 		YLabel: fmt.Sprintf("timely-throughput of link %d over time (target %.3f)", watched, target),
 	}
 	for _, spec := range specs {
-		col, _, err := runOne(sc, spec, opts.fill().BaseSeed)
+		col, _, err := runOne(sc, spec, opts.fill().BaseSeed, opts.fill().Monitor)
 		if err != nil {
 			return nil, fmt.Errorf("experiment fig5: %w", err)
 		}
@@ -308,10 +308,10 @@ func (priorityProfileFigure) Run(opts RunOptions) (*Result, error) {
 	}
 	sums := make([]float64, videoLinks)
 	for s := 0; s < opts.Seeds; s++ {
-		spec := protocolSpec{label: "DP (frozen)", build: func(n int) (mac.Protocol, error) {
+		spec := protocolSpec{label: "DP (frozen)", collisionFree: true, build: func(n int) (mac.Protocol, error) {
 			return core.New(n, core.PaperDebtGlauber(), core.WithFrozenPriorities())
 		}}
-		col, _, err := runOne(sc, spec, opts.BaseSeed+uint64(s)*7919)
+		col, _, err := runOne(sc, spec, opts.BaseSeed+uint64(s)*7919, opts.Monitor)
 		if err != nil {
 			return nil, fmt.Errorf("experiment fig6: %w", err)
 		}

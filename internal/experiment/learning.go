@@ -27,7 +27,7 @@ func (learningFigure) Run(opts RunOptions) (*Result, error) {
 	xs := sweepRange(0.50, 0.75, 0.05)
 	specs := []protocolSpec{
 		dbdpSpec(),
-		{label: "DB-DP (learned p)", build: func(n int) (mac.Protocol, error) {
+		{label: "DB-DP (learned p)", collisionFree: true, build: func(n int) (mac.Protocol, error) {
 			policy, err := core.NewEstimatedDebtGlauber(n)
 			if err != nil {
 				return nil, err
@@ -51,7 +51,7 @@ func (learningFigure) Run(opts RunOptions) (*Result, error) {
 			}
 			var acc stats.Accumulator
 			for seed := 0; seed < opts.Seeds; seed++ {
-				col, _, err := runOne(sc, spec, opts.BaseSeed+uint64(seed)*7919)
+				col, _, err := runOne(sc, spec, opts.BaseSeed+uint64(seed)*7919, opts.Monitor)
 				if err != nil {
 					return nil, fmt.Errorf("experiment extra-learning: %w", err)
 				}

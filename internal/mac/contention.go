@@ -52,6 +52,9 @@ type Contention struct {
 	// protocol-independent visibility into how much idle countdown each
 	// policy pays per interval.
 	backoffHist *telemetry.Histogram
+	// backoffObs, when set, additionally observes (link, counter) pairs; the
+	// network uses it to stream per-link backoff events.
+	backoffObs func(link, counter int)
 	// scratch reused by processBoundary.
 	fired, sensed []int
 }
@@ -105,11 +108,18 @@ func (c *Contention) Add(link, counter int, contender Contender) {
 	if c.backoffHist != nil {
 		c.backoffHist.Observe(float64(counter))
 	}
+	if c.backoffObs != nil {
+		c.backoffObs(link, counter)
+	}
 	c.arm()
 }
 
 // SetBackoffHistogram installs the telemetry histogram fed by every Add.
 func (c *Contention) SetBackoffHistogram(h *telemetry.Histogram) { c.backoffHist = h }
+
+// SetBackoffObserver installs a per-link observer fed by every Add, called
+// with the link and its initial counter at the instant it joins contention.
+func (c *Contention) SetBackoffObserver(fn func(link, counter int)) { c.backoffObs = fn }
 
 // Settle processes entries that are already at zero or one at the current
 // instant (fires zeros, senses ones) and arms the slot clock. Protocols call

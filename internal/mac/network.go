@@ -83,6 +83,8 @@ type Network struct {
 	reg       *telemetry.Registry
 	inst      *instrumentation
 	txTraced  bool
+	prio      priorityCarrier
+	check     func() error
 }
 
 // NewNetwork validates the configuration and assembles the simulation.
@@ -175,11 +177,30 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	if carrier, ok := cfg.Protocol.(swapHookCarrier); ok {
 		carrier.SetSwapHook(nw.inst.observeSwap)
 	}
+	if carrier, ok := cfg.Protocol.(priorityCarrier); ok {
+		nw.prio = carrier
+	}
+	cont.SetBackoffObserver(func(link, counter int) {
+		sink := nw.inst.sink
+		if sink == nil {
+			return
+		}
+		sink.Emit(telemetry.Event{
+			K: nw.ctx.K, At: nw.eng.Now(), Link: link, Kind: telemetry.EventBackoff,
+			Fields: map[string]float64{"slots": float64(counter)},
+		})
+	})
 	if cfg.Events != nil {
 		nw.SetEventSink(cfg.Events)
 	}
 	return nw, nil
 }
+
+// SetIntervalCheck installs a hook consulted at the end of every completed
+// interval; a non-nil error aborts Run with it. The runtime monitor's Strict
+// mode uses it to fail the run at the end of the first violating interval
+// instead of letting a broken simulation grind on.
+func (nw *Network) SetIntervalCheck(fn func() error) { nw.check = fn }
 
 // Telemetry returns the registry the network's metrics live in.
 func (nw *Network) Telemetry() *telemetry.Registry { return nw.reg }
@@ -274,6 +295,11 @@ func (nw *Network) Run(intervals int) error {
 		}
 		nw.inst.endInterval(nw, k, end)
 		nw.intervals++
+		if nw.check != nil {
+			if err := nw.check(); err != nil {
+				return fmt.Errorf("mac: interval %d: %w", k, err)
+			}
+		}
 	}
 	return nil
 }

@@ -2,10 +2,12 @@ package mac
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"rtmac/internal/arrival"
 	"rtmac/internal/medium"
+	"rtmac/internal/monitor"
 	"rtmac/internal/phy"
 	"rtmac/internal/sim"
 )
@@ -367,5 +369,70 @@ func TestContentionRemoveEdgeCases(t *testing.T) {
 	}
 	if nw.Engine().Pending() != 0 {
 		t.Fatal("boundary timer not disarmed after last removal")
+	}
+}
+
+func TestSetIntervalCheckAbortsRun(t *testing.T) {
+	nw := newTestNetwork(t, baseConfig(t))
+	calls := 0
+	nw.SetIntervalCheck(func() error {
+		calls++
+		if calls == 3 {
+			return fmt.Errorf("synthetic failure")
+		}
+		return nil
+	})
+	err := nw.Run(10)
+	if err == nil {
+		t.Fatal("Run ignored the interval check")
+	}
+	if want := "interval 2"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name %s", err, want)
+	}
+	if nw.Intervals() != 3 {
+		t.Errorf("run continued to interval %d after the failing check", nw.Intervals())
+	}
+}
+
+// clashing transmits on every link at once — a deliberately broken
+// "collision-free" protocol for exercising the strict monitor path.
+type clashing struct{}
+
+func (clashing) Name() string { return "clashing" }
+func (clashing) BeginInterval(ctx *Context) {
+	for link := 0; link < ctx.Links(); link++ {
+		ctx.TransmitData(link, func(bool) {})
+	}
+}
+func (clashing) EndInterval(*Context) {}
+
+func TestStrictMonitorAbortsViolatingProtocol(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Protocol = clashing{}
+	nw := newTestNetwork(t, cfg)
+	mon, err := monitor.New(monitor.Config{
+		Links:         2,
+		Interval:      cfg.Profile.Interval,
+		CollisionFree: true,
+		Strict:        true,
+		Registry:      nw.Telemetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetEventSink(mon)
+	nw.SetIntervalCheck(mon.Err)
+	err = nw.Run(10)
+	if err == nil {
+		t.Fatal("strict monitor let a colliding protocol run to completion")
+	}
+	if !strings.Contains(err.Error(), "collision_free") {
+		t.Errorf("error %q does not name the violated check", err)
+	}
+	if nw.Intervals() != 1 {
+		t.Errorf("run aborted after %d intervals, want 1", nw.Intervals())
+	}
+	if mon.Count() == 0 {
+		t.Error("monitor recorded no violations")
 	}
 }

@@ -1,6 +1,9 @@
 package mac
 
 import (
+	"fmt"
+
+	"rtmac/internal/perm"
 	"rtmac/internal/sim"
 	"rtmac/internal/telemetry"
 )
@@ -15,6 +18,14 @@ type SwapHook func(k int64, at sim.Time, pos, down, up int, accepted bool)
 // (the DP family).
 type swapHookCarrier interface {
 	SetSwapHook(SwapHook)
+}
+
+// priorityCarrier is implemented by protocols maintaining an explicit
+// priority permutation σ (the DP family); the network streams per-interval
+// σ snapshots from it so the runtime monitor can audit bijectivity and swap
+// evolution from the event stream alone.
+type priorityCarrier interface {
+	Priorities() perm.Permutation
 }
 
 // debtHistogramBounds cover positive debts from "caught up" through the
@@ -46,6 +57,11 @@ type instrumentation struct {
 
 	debtHist    *telemetry.Histogram
 	backoffHist *telemetry.Histogram
+
+	// prioKeys caches the "l<n>" field names of the priority-snapshot event
+	// (built once; one snapshot is emitted per interval when a sink is
+	// attached and the protocol carries priorities).
+	prioKeys []string
 }
 
 func newInstrumentation(reg *telemetry.Registry) *instrumentation {
@@ -146,5 +162,28 @@ func (in *instrumentation) endInterval(nw *Network, k int64, end sim.Time) {
 				"expired":  float64(pending),
 			},
 		})
+		if nw.prio != nil {
+			in.emitPriorities(nw.prio.Priorities(), k, end)
+		}
 	}
+}
+
+// emitPriorities streams the post-swap σ(k) snapshot: field l<n> holds link
+// n's priority index. Emitted after the interval event, so a stream reader
+// sees the interval's swaps strictly before the permutation they produced.
+func (in *instrumentation) emitPriorities(prio perm.Permutation, k int64, at sim.Time) {
+	n := prio.Len()
+	if in.prioKeys == nil {
+		in.prioKeys = make([]string, n)
+		for i := range in.prioKeys {
+			in.prioKeys[i] = fmt.Sprintf("l%d", i)
+		}
+	}
+	fields := make(map[string]float64, n)
+	for link, pr := range prio {
+		fields[in.prioKeys[link]] = float64(pr)
+	}
+	in.sink.Emit(telemetry.Event{
+		K: k, At: at, Link: -1, Kind: telemetry.EventPriority, Fields: fields,
+	})
 }

@@ -223,9 +223,24 @@ func (m *Medium) Busy() bool { return len(m.active) > 0 }
 // ActiveCount returns the number of overlapping in-flight transmissions.
 func (m *Medium) ActiveCount() int { return len(m.active) }
 
+// requireQuiescent enforces the read contract of the aggregate views: they
+// are only consistent when no transmission is in flight (BusyTime of the
+// current occupancy period is not yet accumulated, and in-flight outcomes
+// are unresolved). Reading mid-transmission used to yield silently stale
+// numbers; it now panics, like the other usage errors in this package.
+func (m *Medium) requireQuiescent(what string) {
+	if len(m.active) > 0 {
+		panic(fmt.Sprintf(
+			"medium: %s read with %d transmissions in flight; call it at an interval boundary (e.g. after Run returns)",
+			what, len(m.active)))
+	}
+}
+
 // Stats returns a copy of the channel counters, read from the telemetry
-// registry they live in.
+// registry they live in. It must be called while the channel is quiescent —
+// between intervals or after Run — and panics mid-transmission.
 func (m *Medium) Stats() Stats {
+	m.requireQuiescent("Stats")
 	return Stats{
 		Transmissions: int(m.met.transmissions.Value()),
 		EmptyFrames:   int(m.met.emptyFrames.Value()),
@@ -237,8 +252,10 @@ func (m *Medium) Stats() Stats {
 }
 
 // Airtime returns the channel-occupancy accounting: union busy time plus
-// summed per-category airtimes.
+// summed per-category airtimes. Like Stats, it must be called while the
+// channel is quiescent and panics mid-transmission.
 func (m *Medium) Airtime() Airtime {
+	m.requireQuiescent("Airtime")
 	return Airtime{
 		Busy:     sim.Time(m.met.busyUS.Value()),
 		Data:     sim.Time(m.met.dataUS.Value()),

@@ -373,3 +373,34 @@ func TestStatsRoutedThroughRegistry(t *testing.T) {
 		t.Errorf("Stats() compatibility view = %+v, want 1 transmission / 1 delivery", st)
 	}
 }
+
+func TestStatsMidFlightPanics(t *testing.T) {
+	_, m := newTestMedium(t, 1)
+	m.Start(0, 100, false, func(Outcome) {})
+	for name, read := range map[string]func(){
+		"Stats":   func() { m.Stats() },
+		"Airtime": func() { m.Airtime() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s read mid-transmission did not panic", name)
+				}
+			}()
+			read()
+		}()
+	}
+}
+
+func TestStatsQuiescentAfterRun(t *testing.T) {
+	eng, m := newTestMedium(t, 1)
+	m.Start(0, 100, false, func(Outcome) {})
+	eng.Run()
+	// At an interval boundary the reads are legal and must not panic.
+	if m.Stats().Transmissions != 1 {
+		t.Fatal("stats lost the transmission")
+	}
+	if m.Airtime().Busy != 100 {
+		t.Fatal("airtime lost the busy span")
+	}
+}

@@ -1,0 +1,172 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rtmac/internal/telemetry"
+)
+
+// FlightRecorder retains the raw event stream of the most recent K intervals
+// in a bounded ring, crash-recorder style: it costs a bounded amount of
+// memory no matter how long the run is, and on a violation (or on demand) it
+// dumps exactly the window of history that explains what happened.
+type FlightRecorder struct {
+	capacity int
+	buckets  map[int64][]telemetry.Event
+	order    []int64
+	dropped  int64
+	total    int64
+}
+
+// NewFlightRecorder returns a recorder keeping the most recent `intervals`
+// intervals of events.
+func NewFlightRecorder(intervals int) (*FlightRecorder, error) {
+	if intervals <= 0 {
+		return nil, fmt.Errorf("monitor: flight recorder capacity %d must be positive", intervals)
+	}
+	return &FlightRecorder{
+		capacity: intervals,
+		buckets:  make(map[int64][]telemetry.Event, intervals+1),
+	}, nil
+}
+
+// Emit implements telemetry.Sink. Events are grouped by interval index; when
+// a new interval appears beyond the capacity, the oldest interval's events
+// are dropped. Field maps are copied (the Sink contract does not grant
+// ownership).
+func (r *FlightRecorder) Emit(ev telemetry.Event) {
+	if ev.Fields != nil {
+		f := make(map[string]float64, len(ev.Fields))
+		for k, v := range ev.Fields {
+			f[k] = v
+		}
+		ev.Fields = f
+	}
+	if _, ok := r.buckets[ev.K]; !ok {
+		r.order = append(r.order, ev.K)
+		if len(r.order) > r.capacity {
+			oldest := r.order[0]
+			r.order = r.order[1:]
+			r.dropped += int64(len(r.buckets[oldest]))
+			delete(r.buckets, oldest)
+		}
+	}
+	r.buckets[ev.K] = append(r.buckets[ev.K], ev)
+	r.total++
+}
+
+// Total returns how many events were observed, including dropped ones.
+func (r *FlightRecorder) Total() int64 { return r.total }
+
+// Dropped returns how many events fell out of the retention window.
+func (r *FlightRecorder) Dropped() int64 { return r.dropped }
+
+// Intervals returns how many intervals are currently retained.
+func (r *FlightRecorder) Intervals() int { return len(r.order) }
+
+// Events returns the retained events, oldest interval first, in emission
+// order within each interval. The slice is a copy.
+func (r *FlightRecorder) Events() []telemetry.Event {
+	ks := append([]int64(nil), r.order...)
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	var out []telemetry.Event
+	for _, k := range ks {
+		out = append(out, r.buckets[k]...)
+	}
+	return out
+}
+
+// WriteJSONL dumps the retained window as JSON Lines — the same format the
+// live event stream uses, so `rtmacsim -checkevents` audits a dump directly.
+func (r *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("monitor: flight recorder dump: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteTimeline renders the retained window as a human-readable per-interval
+// log, one event per line, for post-mortem reading without tooling.
+func (r *FlightRecorder) WriteTimeline(w io.Writer) error {
+	events := r.Events()
+	if len(events) == 0 {
+		_, err := fmt.Fprintln(w, "flight recorder: no events retained")
+		return err
+	}
+	var curK int64 = -1 << 62
+	for _, ev := range events {
+		if ev.K != curK {
+			curK = ev.K
+			if _, err := fmt.Fprintf(w, "== interval %d ==\n", curK); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %s\n", formatEvent(ev)); err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d earlier events beyond the %d-interval window were dropped)\n",
+			r.dropped, r.capacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatEvent renders one event as a timeline line, with kind-aware phrasing
+// for the canonical kinds and a sorted field dump for everything else.
+func formatEvent(ev telemetry.Event) string {
+	switch ev.Kind {
+	case telemetry.EventTx:
+		what := "data"
+		if ev.Fields["empty"] == 1 {
+			what = "empty"
+		}
+		outcome := [...]string{"delivered", "lost", "collided"}
+		oc := "?"
+		if o := int(ev.Fields["outcome"]); o >= 0 && o < len(outcome) {
+			oc = outcome[o]
+		}
+		return fmt.Sprintf("t=%-8v link=%-3d tx %s %vµs %s",
+			ev.At, ev.Link, what, ev.Fields["dur"], oc)
+	case telemetry.EventBackoff:
+		return fmt.Sprintf("t=%-8v link=%-3d backoff %v slots", ev.At, ev.Link, ev.Fields["slots"])
+	case telemetry.EventSwap:
+		verdict := "rejected"
+		if ev.Fields["accepted"] == 1 {
+			verdict = "accepted"
+		}
+		return fmt.Sprintf("t=%-8v swap pos=%v links %v<->%v %s",
+			ev.At, ev.Fields["pos"], ev.Fields["down"], ev.Fields["up"], verdict)
+	case telemetry.EventDebt:
+		return fmt.Sprintf("t=%-8v debt max=%v mean=%v positive=%v",
+			ev.At, ev.Fields["max"], ev.Fields["mean"], ev.Fields["positive"])
+	case telemetry.EventInterval:
+		return fmt.Sprintf("t=%-8v interval arrivals=%v served=%v expired=%v",
+			ev.At, ev.Fields["arrivals"], ev.Fields["served"], ev.Fields["expired"])
+	case telemetry.EventViolation:
+		return fmt.Sprintf("t=%-8v VIOLATION [%s] %s", ev.At, ev.Check, ev.Msg)
+	default:
+		keys := make([]string, 0, len(ev.Fields))
+		for k := range ev.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		fmt.Fprintf(&b, "t=%-8v link=%-3d %s", ev.At, ev.Link, ev.Kind)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%v", k, ev.Fields[k])
+		}
+		return b.String()
+	}
+}
+
+var _ telemetry.Sink = (*FlightRecorder)(nil)

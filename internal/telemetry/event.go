@@ -27,6 +27,11 @@ type Event struct {
 	// serializes map keys in sorted order, which keeps the JSONL stream
 	// byte-for-byte deterministic for a fixed seed.
 	Fields map[string]float64 `json:"f,omitempty"`
+	// Check names the invariant checker that produced a "violation" event;
+	// empty for every other kind.
+	Check string `json:"check,omitempty"`
+	// Msg is a human-readable detail line, only set on "violation" events.
+	Msg string `json:"msg,omitempty"`
 }
 
 // Canonical event kinds emitted by the simulator's instrumentation points.
@@ -45,6 +50,18 @@ const (
 	// EventDebt summarizes the debt vector after an interval's Eq. 1 update
 	// (Link = -1): fields max, mean, positive (links with positive debt).
 	EventDebt = "debt"
+	// EventBackoff is one initial backoff counter handed to the contention
+	// coordinator at an interval's start: field slots.
+	EventBackoff = "backoff"
+	// EventPriority snapshots the DP priority assignment σ(k) at an
+	// interval's end, after swaps committed (Link = -1): field l<n> holds
+	// link n's priority index (1 highest). Only priority-carrying protocols
+	// (the DP family) emit it.
+	EventPriority = "prio"
+	// EventViolation is an invariant breach reported by the runtime monitor
+	// (internal/monitor): Check names the checker, Msg the detail, Fields
+	// the checker-specific payload.
+	EventViolation = "violation"
 )
 
 // Sink consumes events. Implementations must not retain the Fields map

@@ -19,10 +19,22 @@ import (
 type Protocol struct {
 	label string
 	build func(n int) (mac.Protocol, error)
+	// collisionFree marks policies the paper proves (or constructs to be)
+	// collision-free; the runtime monitor arms its collision_free checker
+	// for them.
+	collisionFree bool
+	// swapPairs is the per-interval swap allowance of the DP family (zero
+	// for policies without priority swapping).
+	swapPairs int
 }
 
 // Label returns the protocol's display name.
 func (p Protocol) Label() string { return p.label }
+
+// CollisionFree reports whether the policy is collision-free by
+// construction (DB-DP, LDF/ELDF, TDMA, frame-based CSMA); random-access
+// baselines (FCSMA, DCF) collide by design.
+func (p Protocol) CollisionFree() bool { return p.collisionFree }
 
 // DBDPOption customizes the DB-DP protocol.
 type DBDPOption func(*dbdpConfig)
@@ -85,7 +97,9 @@ func DBDP(opts ...DBDPOption) Protocol {
 		opt(&cfg)
 	}
 	return Protocol{
-		label: "DB-DP",
+		label:         "DB-DP",
+		collisionFree: true,
+		swapPairs:     cfg.pairs,
 		build: func(n int) (mac.Protocol, error) {
 			var coreOpts []core.Option
 			if cfg.pairs != 1 {
@@ -127,8 +141,9 @@ func DBDP(opts ...DBDPOption) Protocol {
 // LDF returns the centralized Largest-Debt-First comparator.
 func LDF() Protocol {
 	return Protocol{
-		label: "LDF",
-		build: func(int) (mac.Protocol, error) { return ldf.NewLDF(), nil },
+		label:         "LDF",
+		collisionFree: true,
+		build:         func(int) (mac.Protocol, error) { return ldf.NewLDF(), nil },
 	}
 }
 
@@ -136,8 +151,9 @@ func LDF() Protocol {
 // function (Algorithm 1).
 func ELDF(f InfluenceFunc) Protocol {
 	return Protocol{
-		label: fmt.Sprintf("ELDF[%s]", f.f.Name()),
-		build: func(int) (mac.Protocol, error) { return ldf.New(f.f), nil },
+		label:         fmt.Sprintf("ELDF[%s]", f.f.Name()),
+		collisionFree: true,
+		build:         func(int) (mac.Protocol, error) { return ldf.New(f.f), nil },
 	}
 }
 
@@ -176,8 +192,9 @@ func DCF() Protocol {
 // schedule cannot adapt to within-frame losses.
 func FrameCSMA() Protocol {
 	return Protocol{
-		label: "Frame-CSMA",
-		build: func(int) (mac.Protocol, error) { return framecsma.New(framecsma.DefaultConfig()) },
+		label:         "Frame-CSMA",
+		collisionFree: true,
+		build:         func(int) (mac.Protocol, error) { return framecsma.New(framecsma.DefaultConfig()) },
 	}
 }
 
@@ -186,8 +203,9 @@ func FrameCSMA() Protocol {
 // and channel quality — the zero-adaptivity reference point.
 func TDMA() Protocol {
 	return Protocol{
-		label: "TDMA",
-		build: func(int) (mac.Protocol, error) { return tdma.New(true), nil },
+		label:         "TDMA",
+		collisionFree: true,
+		build:         func(int) (mac.Protocol, error) { return tdma.New(true), nil },
 	}
 }
 

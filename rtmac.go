@@ -123,9 +123,20 @@ type Simulation struct {
 	col             *metrics.Collector
 	req             []float64
 	prot            mac.Protocol
+	cfgProt         Protocol
 	profileInterval sim.Time
 	events          *telemetry.JSONL
 	manifest        *telemetry.Manifest
+	// sinks holds every attached event consumer (JSONL streams, the runtime
+	// monitor, flight recorder, Perfetto exporter) in attach order; the
+	// network sees them as one fan-out.
+	sinks []telemetry.Sink
+}
+
+// addSink attaches one more event consumer, rebuilding the network's fan-out.
+func (s *Simulation) addSink(sink telemetry.Sink) {
+	s.sinks = append(s.sinks, sink)
+	s.nw.SetEventSink(telemetry.MultiSink(append([]telemetry.Sink(nil), s.sinks...)))
 }
 
 // NewSimulation validates cfg and builds the network.
@@ -201,6 +212,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		col:             col,
 		req:             req,
 		prot:            prot,
+		cfgProt:         cfg.Protocol,
 		profileInterval: cfg.Profile.p.Interval,
 		manifest:        manifest,
 	}, nil

@@ -14,6 +14,7 @@ import (
 //   - every simulation is deterministic under its seed;
 //   - reports are internally consistent (deficiency within [0, Σq],
 //     delivered counts below attempted counts, busy share within [0, 1]);
+//   - the strict runtime monitor finds no invariant violations in any run;
 //   - no run errors or panics.
 func TestSoakRandomConfigurations(t *testing.T) {
 	rng := rand.New(rand.NewPCG(99, 77))
@@ -67,8 +68,16 @@ func TestSoakRandomConfigurations(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d (%s): %v", trial, spec.p.Label(), err)
 			}
+			mon, err := sim.EnableMonitor(rtmac.MonitorConfig{Strict: true})
+			if err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, spec.p.Label(), err)
+			}
 			if err := sim.Run(150); err != nil {
 				t.Fatalf("trial %d (%s): %v", trial, spec.p.Label(), err)
+			}
+			if n := mon.Count(); n != 0 {
+				t.Fatalf("trial %d (%s): %d monitor violations, first: %v",
+					trial, spec.p.Label(), n, mon.Violations()[0])
 			}
 			return sim.Report()
 		}

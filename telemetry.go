@@ -60,10 +60,11 @@ type EventStream struct {
 // StreamEvents attaches a JSONL event stream writing to w. Call before Run;
 // intervals already simulated are not replayed. The stream is deterministic:
 // two same-seed, same-config runs produce byte-identical output. Call Flush
-// when the run completes.
+// when the run completes. It composes with EnableMonitor and ExportPerfetto:
+// each consumer sees the same events.
 func (s *Simulation) StreamEvents(w io.Writer, opts ...EventOption) *EventStream {
 	sink := telemetry.NewJSONL(w, opts...)
-	s.nw.SetEventSink(sink)
+	s.addSink(sink)
 	s.events = sink
 	return &EventStream{sink: sink}
 }
