@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json figures figures-quick telemetry-smoke monitor-smoke fuzz cover clean
+.PHONY: all build vet test test-short bench bench-json bench-compare figures figures-quick telemetry-smoke monitor-smoke serve-smoke fuzz cover clean
 
 all: build vet test
 
@@ -25,6 +25,11 @@ bench:
 # ns/interval and intervals/sec per protocol across commits.
 bench-json:
 	$(GO) run ./cmd/benchtrend
+
+# Diff two benchtrend reports and fail on a >10% ns/interval regression:
+#   make bench-compare OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-06.json
+bench-compare:
+	$(GO) run ./cmd/benchtrend -compare $(OLD) $(NEW)
 
 # Regenerate every figure of the paper at full fidelity (plus CSVs).
 figures:
@@ -59,6 +64,27 @@ monitor-smoke:
 	$(GO) run ./cmd/rtmacsim -checkevents /tmp/rtmac-monitor-events.jsonl
 	$(GO) run ./cmd/rtmacsim -checkevents /tmp/rtmac-flight.jsonl
 	test -s /tmp/rtmac-flight.jsonl.txt
+
+# End-to-end check of the live HTTP observability plane: start a -serve run
+# in the background, curl every endpoint, validate the scrape with the
+# exposition validator, then shut the server down with SIGTERM and require a
+# clean exit.
+serve-smoke:
+	$(GO) build -o /tmp/rtmacsim-smoke ./cmd/rtmacsim
+	/tmp/rtmacsim-smoke -protocol dbdp -intervals 2000 \
+		-serve 127.0.0.1:19880 >/tmp/rtmac-serve.out 2>&1 & echo $$! > /tmp/rtmac-serve.pid
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:19880/healthz >/dev/null 2>&1 && break; sleep 0.2; done
+	curl -fsS http://127.0.0.1:19880/healthz | grep -q ok
+	curl -fsS http://127.0.0.1:19880/metrics > /tmp/rtmac-serve-metrics.prom
+	curl -fsS http://127.0.0.1:19880/api/progress | grep -q '"planned_intervals": 2000'
+	curl -fsS http://127.0.0.1:19880/ | grep -qi '<html'
+	/tmp/rtmacsim-smoke -checkmetrics /tmp/rtmac-serve-metrics.prom
+	kill -TERM $$(cat /tmp/rtmac-serve.pid)
+	for i in $$(seq 1 50); do \
+		kill -0 $$(cat /tmp/rtmac-serve.pid) 2>/dev/null || break; sleep 0.2; done
+	! kill -0 $$(cat /tmp/rtmac-serve.pid) 2>/dev/null
+	grep -q 'run complete' /tmp/rtmac-serve.out
 
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// comparison is the verdict for one protocol present in both reports.
+type comparison struct {
+	Protocol   string
+	OldNs      float64
+	NewNs      float64
+	DeltaPct   float64
+	Regression bool
+}
+
+// loadReport reads one BENCH_*.json document.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return rep, nil
+}
+
+// compareReports diffs per-protocol ns/interval between two reports. A
+// protocol regresses when its ns/interval grew by more than thresholdPct
+// percent. Protocols present in only one report are skipped — renames and
+// additions are not regressions.
+func compareReports(oldRep, newRep Report, thresholdPct float64) []comparison {
+	oldNs := make(map[string]float64, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldNs[r.Protocol] = r.NsPerInterval
+	}
+	var out []comparison
+	for _, r := range newRep.Results {
+		old, ok := oldNs[r.Protocol]
+		if !ok || old <= 0 {
+			continue
+		}
+		delta := (r.NsPerInterval - old) / old * 100
+		out = append(out, comparison{
+			Protocol:   r.Protocol,
+			OldNs:      old,
+			NewNs:      r.NsPerInterval,
+			DeltaPct:   delta,
+			Regression: delta > thresholdPct,
+		})
+	}
+	return out
+}
+
+// writeComparison prints the diff table and returns the regression count.
+func writeComparison(w io.Writer, comps []comparison, thresholdPct float64) int {
+	fmt.Fprintf(w, "%-10s %14s %14s %8s\n", "protocol", "old ns/itv", "new ns/itv", "delta")
+	regressions := 0
+	for _, c := range comps {
+		verdict := ""
+		if c.Regression {
+			verdict = fmt.Sprintf("  REGRESSION (>%g%%)", thresholdPct)
+			regressions++
+		}
+		fmt.Fprintf(w, "%-10s %14.0f %14.0f %+7.1f%%%s\n",
+			c.Protocol, c.OldNs, c.NewNs, c.DeltaPct, verdict)
+	}
+	return regressions
+}
+
+// runCompare implements `benchtrend -compare old.json new.json`: exit status
+// 1 when any protocol's ns/interval regressed past the threshold.
+func runCompare(oldPath, newPath string, thresholdPct float64) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	comps := compareReports(oldRep, newRep, thresholdPct)
+	if len(comps) == 0 {
+		return fmt.Errorf("no protocols in common between %s and %s", oldPath, newPath)
+	}
+	if n := writeComparison(os.Stdout, comps, thresholdPct); n > 0 {
+		return fmt.Errorf("%d of %d protocols regressed more than %g%% ns/interval",
+			n, len(comps), thresholdPct)
+	}
+	fmt.Printf("no regressions beyond %g%% across %d protocols (%s -> %s)\n",
+		thresholdPct, len(comps), oldRep.Date, newRep.Date)
+	return nil
+}

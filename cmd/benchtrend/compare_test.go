@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(ns map[string]float64) Report {
+	rep := Report{Date: "2026-01-01"}
+	for _, name := range []string{"dbdp", "ldf", "fcsma", "tdma"} {
+		if v, ok := ns[name]; ok {
+			rep.Results = append(rep.Results, Result{Protocol: name, NsPerInterval: v})
+		}
+	}
+	return rep
+}
+
+func TestCompareReportsFlagsOnlyRealRegressions(t *testing.T) {
+	oldRep := report(map[string]float64{"dbdp": 1000, "ldf": 2000, "fcsma": 500})
+	newRep := report(map[string]float64{"dbdp": 1050, "ldf": 2500, "fcsma": 400})
+	comps := compareReports(oldRep, newRep, 10)
+	if len(comps) != 3 {
+		t.Fatalf("got %d comparisons, want 3", len(comps))
+	}
+	want := map[string]bool{"dbdp": false, "ldf": true, "fcsma": false}
+	for _, c := range comps {
+		if c.Regression != want[c.Protocol] {
+			t.Errorf("%s: regression=%v (delta %+.1f%%), want %v",
+				c.Protocol, c.Regression, c.DeltaPct, want[c.Protocol])
+		}
+	}
+}
+
+func TestCompareReportsSkipsMismatchedProtocols(t *testing.T) {
+	oldRep := report(map[string]float64{"dbdp": 1000, "tdma": 300})
+	newRep := report(map[string]float64{"dbdp": 900, "ldf": 2000})
+	comps := compareReports(oldRep, newRep, 10)
+	if len(comps) != 1 || comps[0].Protocol != "dbdp" {
+		t.Fatalf("got %+v, want only dbdp", comps)
+	}
+	if comps[0].Regression {
+		t.Fatalf("dbdp improved but was flagged: %+v", comps[0])
+	}
+}
+
+func TestCompareReportsThresholdIsExclusive(t *testing.T) {
+	oldRep := report(map[string]float64{"dbdp": 1000})
+	// Exactly at the threshold is not a regression; just past it is.
+	at := compareReports(oldRep, report(map[string]float64{"dbdp": 1100}), 10)
+	if at[0].Regression {
+		t.Errorf("+10.0%% at a 10%% threshold flagged as regression")
+	}
+	past := compareReports(oldRep, report(map[string]float64{"dbdp": 1101}), 10)
+	if !past[0].Regression {
+		t.Errorf("+10.1%% at a 10%% threshold not flagged")
+	}
+}
+
+func TestWriteComparisonCountsAndRenders(t *testing.T) {
+	comps := []comparison{
+		{Protocol: "dbdp", OldNs: 1000, NewNs: 900, DeltaPct: -10},
+		{Protocol: "ldf", OldNs: 1000, NewNs: 1500, DeltaPct: 50, Regression: true},
+	}
+	var b strings.Builder
+	if n := writeComparison(&b, comps, 10); n != 1 {
+		t.Fatalf("got %d regressions, want 1", n)
+	}
+	out := b.String()
+	for _, want := range []string{"dbdp", "ldf", "REGRESSION", "-10.0%", "+50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep Report) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", report(map[string]float64{"dbdp": 1000, "ldf": 2000}))
+	okPath := write("ok.json", report(map[string]float64{"dbdp": 1010, "ldf": 1900}))
+	badPath := write("bad.json", report(map[string]float64{"dbdp": 1500, "ldf": 1900}))
+
+	if err := runCompare(oldPath, okPath, 10); err != nil {
+		t.Errorf("clean comparison failed: %v", err)
+	}
+	err := runCompare(oldPath, badPath, 10)
+	if err == nil {
+		t.Fatal("regressed comparison passed")
+	}
+	if !strings.Contains(err.Error(), "1 of 2 protocols regressed") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if err := runCompare(oldPath, filepath.Join(dir, "missing.json"), 10); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := write("empty.json", Report{Date: "2026-01-01"})
+	if err := runCompare(oldPath, empty, 10); err == nil {
+		t.Error("empty report accepted")
+	}
+}

@@ -9,6 +9,9 @@
 //	benchtrend -out results/    # write into a directory
 //	benchtrend -out trend.json  # write to an explicit file
 //	benchtrend -benchtime 2s    # longer measurement per protocol
+//	benchtrend -compare old.json new.json   # diff two reports; exit 1 when
+//	                                        # any protocol's ns/interval grew
+//	                                        # more than -threshold percent
 //
 // Each entry reports ns per simulated interval, allocations, bytes and the
 // derived intervals-per-second on the paper's control scenario (10 links,
@@ -148,11 +151,23 @@ func main() {
 	var (
 		out       = flag.String("out", "", "output file, or directory for the dated default name (default BENCH_<date>.json)")
 		benchtime = flag.Duration("benchtime", time.Second, "measurement time per protocol")
+		compare   = flag.Bool("compare", false, "compare two BENCH_*.json files (old new) instead of measuring; exit 1 on regression")
+		threshold = flag.Float64("threshold", 10, "with -compare, percent ns/interval growth that counts as a regression")
 	)
 	// testing.Init registers the test.* flags testing.Benchmark reads;
 	// without it Benchmark panics outside a test binary.
 	testing.Init()
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare wants exactly two arguments: old.json new.json"))
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	// testing.Benchmark honors the package-level benchtime flag.
 	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {

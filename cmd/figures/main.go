@@ -6,6 +6,7 @@
 //	figures -fig fig3            # one figure
 //	figures -scale 0.1 -seeds 1  # quick low-fidelity pass
 //	figures -csv results         # also write results/<fig>.csv
+//	figures -serve :8080         # watch live progress at http://localhost:8080
 //
 // Each figure prints an aligned table and an ASCII chart; -csv writes the
 // raw points for external plotting.
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"rtmac/internal/experiment"
+	"rtmac/internal/obs"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		extended = flag.Bool("extended", false, "run the beyond-paper figures too")
 		htmlPath = flag.String("html", "", "write all regenerated figures into one self-contained HTML report")
 		monitor  = flag.Bool("monitor", true, "run the strict invariant monitor inside every simulation; a violation fails the figure")
+		serve    = flag.String("serve", "", "serve the live observability plane (dashboard, /metrics, /api/progress, /events SSE) on this address (e.g. :8080) while the sweep runs")
 	)
 	flag.Parse()
 
@@ -61,6 +64,19 @@ func main() {
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
+	}
+	var plane *obs.Plane
+	if *serve != "" {
+		plane = obs.NewPlane(nil)
+		opts.Tracker = plane.Tracker
+		opts.Telemetry = plane.Registry
+		opts.Events = plane.Broker
+		if err := plane.Start(*serve); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability: serving on http://%s (dashboard, /metrics, /api/progress, /events)\n",
+			plane.Addr())
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -124,5 +140,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlPath)
+	}
+	if plane != nil {
+		if err := plane.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

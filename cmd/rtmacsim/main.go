@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"rtmac"
@@ -52,6 +54,8 @@ func main() {
 		perfetto   = flag.String("perfetto", "", "export a Perfetto/Chrome trace_event JSON file of the run (open at ui.perfetto.dev)")
 		flight     = flag.String("flightrecorder", "", "dump the flight recorder (last 64 intervals of events) to this JSONL file, plus a .txt timeline alongside (implies -monitor)")
 		checkperf  = flag.String("checkperfetto", "", "validate a trace_event JSON file written by -perfetto, print its event count, and exit")
+		serve      = flag.String("serve", "", "serve the live observability plane (dashboard, /metrics, /api/progress, /events SSE) on this address (e.g. :8080); after the run the server stays up with the final state until interrupted")
+		checkmet   = flag.String("checkmetrics", "", "validate a Prometheus text-format metrics file (e.g. fetched from /metrics or written by -telemetry), print its sample count, and exit")
 	)
 	flag.Parse()
 	if *checkev != "" {
@@ -62,6 +66,12 @@ func main() {
 	}
 	if *checkperf != "" {
 		if err := checkPerfetto(*checkperf); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *checkmet != "" {
+		if err := checkMetrics(*checkmet); err != nil {
 			fatal(err)
 		}
 		return
@@ -77,6 +87,7 @@ func main() {
 	monitorStrict = *strict
 	perfettoPath = *perfetto
 	flightPath = *flight
+	serveAddr = *serve
 
 	if *configPath != "" {
 		cfg, net, configIntervals, err := scenario.LoadAnyFile(*configPath)
@@ -126,6 +137,7 @@ var (
 	monitorStrict  bool
 	perfettoPath   string
 	flightPath     string
+	serveAddr      string
 	topo           *topology.Network
 )
 
@@ -174,6 +186,15 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	var obsrv *rtmac.Observability
+	if serveAddr != "" {
+		obsrv, err = sim.ServeObservability(serveAddr, intervals)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observability: serving on http://%s (dashboard, /metrics, /api/progress, /events)\n",
+			obsrv.Addr())
 	}
 	if cpuprofilePath != "" {
 		f, err := os.Create(cpuprofilePath)
@@ -276,6 +297,19 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 	if tr != nil && intervals > 0 {
 		fmt.Println()
 		if err := tr.RenderInterval(os.Stdout, int64(intervals-1), 100); err != nil {
+			fatal(err)
+		}
+	}
+	if obsrv != nil {
+		// Keep the final metrics, progress and dashboard inspectable after
+		// the run; CI's serve-smoke curls the endpoints here and then sends
+		// SIGTERM for a clean exit.
+		fmt.Printf("observability: run complete; serving final state on http://%s until interrupted\n",
+			obsrv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		if err := obsrv.Close(); err != nil {
 			fatal(err)
 		}
 	}
@@ -395,6 +429,27 @@ func checkEvents(path string) error {
 		return fmt.Errorf("%s: %d invariant violations", path, len(violations))
 	}
 	fmt.Printf("%s: invariant audit clean\n", path)
+	return nil
+}
+
+// checkMetrics validates a Prometheus text-format metrics file — one written
+// by -telemetry or scraped from a -serve plane's /metrics endpoint — and
+// prints its sample count. Used by `make serve-smoke` and CI to guard the
+// scrape format.
+func checkMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := rtmac.ValidatePrometheusText(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if n == 0 {
+		return fmt.Errorf("%s: no samples", path)
+	}
+	fmt.Printf("%s: %d samples ok\n", path, n)
 	return nil
 }
 

@@ -32,6 +32,10 @@ func (delayFigure) Run(opts RunOptions) (*Result, error) {
 		XLabel: "alpha*",
 		YLabel: "delay / deadline",
 	}
+	if opts.Tracker != nil {
+		opts.Tracker.FigureStarted("extra-delay", delayFigure{}.Title(), len(specs)*len(xs))
+		defer opts.Tracker.FigureFinished("extra-delay")
+	}
 	for _, spec := range specs {
 		p50 := Series{Label: spec.label + " p50"}
 		p99 := Series{Label: spec.label + " p99"}
@@ -56,6 +60,8 @@ func (delayFigure) Run(opts RunOptions) (*Result, error) {
 				Required:    sc.required,
 				Protocol:    prot,
 				Observers:   []mac.Observer{col},
+				Telemetry:   opts.Telemetry,
+				Events:      opts.Events,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiment extra-delay: %w", err)
@@ -80,6 +86,9 @@ func (delayFigure) Run(opts RunOptions) (*Result, error) {
 			p50.Y = append(p50.Y, float64(q50)/float64(sc.profile.Interval))
 			p99.X = append(p99.X, x)
 			p99.Y = append(p99.Y, float64(q99)/float64(sc.profile.Interval))
+			if opts.Tracker != nil {
+				opts.Tracker.JobCompleted("extra-delay")
+			}
 		}
 		out.Series = append(out.Series, p50, p99)
 	}

@@ -27,7 +27,22 @@ import (
 	"rtmac/internal/monitor"
 	"rtmac/internal/phy"
 	"rtmac/internal/stats"
+	"rtmac/internal/telemetry"
 )
+
+// ProgressTracker receives figure- and job-level completion callbacks during
+// a run. The HTTP observability plane implements it; implementations must be
+// safe for concurrent use, because workers report completions from many
+// goroutines.
+type ProgressTracker interface {
+	// FigureStarted announces a figure and how many simulation jobs it will
+	// run. A figure with an unknown job count may report 0.
+	FigureStarted(id, title string, totalJobs int)
+	// JobCompleted records one finished simulation for the figure.
+	JobCompleted(id string)
+	// FigureFinished marks the figure complete.
+	FigureFinished(id string)
+}
 
 // RunOptions tunes how much work a figure run performs. The zero value asks
 // for the paper's native fidelity.
@@ -50,6 +65,28 @@ type RunOptions struct {
 	// violation of the paper's structural guarantees fails the figure instead
 	// of silently skewing its curves.
 	Monitor bool
+	// Tracker, when non-nil, receives figure/job completion callbacks; the
+	// HTTP observability plane's tracker plugs in here.
+	Tracker ProgressTracker
+	// Telemetry, when non-nil, is shared by every simulated network; the
+	// registry is safe for that concurrent use.
+	Telemetry *telemetry.Registry
+	// Events, when non-nil, receives every network's structured event stream
+	// (e.g. the observability plane's SSE broker).
+	Events telemetry.Sink
+}
+
+// syncWriter serializes writes so many workers can share one Progress
+// destination without interleaving bytes mid-line.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 func (o RunOptions) fill() RunOptions {
@@ -64,6 +101,11 @@ func (o RunOptions) fill() RunOptions {
 	}
 	if o.BaseSeed == 0 {
 		o.BaseSeed = 0x5eed
+	}
+	if o.Progress != nil {
+		if _, ok := o.Progress.(*syncWriter); !ok {
+			o.Progress = &syncWriter{w: o.Progress}
+		}
 	}
 	return o
 }
@@ -84,6 +126,24 @@ type Series struct {
 	// Err, when non-nil, carries the standard error of each Y (multi-seed
 	// sweeps).
 	Err []float64
+	// CI, when non-nil, carries the 95% confidence half-width of each Y.
+	CI []float64
+	// DelayP50/P95/P99, when non-nil, carry the delivery-delay quantiles in
+	// microseconds at each point (mean across replications with deliveries).
+	DelayP50 []float64
+	DelayP95 []float64
+	DelayP99 []float64
+}
+
+// addSummary appends one aggregated point to the series.
+func (s *Series) addSummary(x float64, sum stats.PointSummary) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, sum.Mean)
+	s.Err = append(s.Err, sum.StdErr)
+	s.CI = append(s.CI, sum.CIHalf)
+	s.DelayP50 = append(s.DelayP50, sum.DelayP50)
+	s.DelayP95 = append(s.DelayP95, sum.DelayP95)
+	s.DelayP99 = append(s.DelayP99, sum.DelayP99)
 }
 
 // Result is a regenerated figure.
@@ -155,21 +215,42 @@ type scenario struct {
 	seriesEvery int
 }
 
-// runOne simulates a scenario under a protocol and returns the collector.
-// With withMonitor, the strict invariant monitor rides along and the run
-// fails at the end of the first violating interval.
-func runOne(sc scenario, spec protocolSpec, seed uint64, withMonitor bool) (*metrics.Collector, mac.Protocol, error) {
+// runOut is everything one simulation yields to its reducer.
+type runOut struct {
+	col   *metrics.Collector
+	delay *metrics.DelaySketch
+	prot  mac.Protocol
+}
+
+// replication packages the run as one seed-tagged replication for the
+// cross-seed aggregator.
+func (o runOut) replication(seed uint64, value float64) stats.Replication {
+	return stats.Replication{
+		Seed:       seed,
+		Value:      value,
+		DelayP50:   o.delay.P50(),
+		DelayP95:   o.delay.P95(),
+		DelayP99:   o.delay.P99(),
+		DelayCount: o.delay.Count(),
+	}
+}
+
+// runOne simulates a scenario under a protocol and returns the collector and
+// a delivery-delay sketch. With opts.Monitor, the strict invariant monitor
+// rides along and the run fails at the end of the first violating interval.
+// opts.Telemetry and opts.Events, when set, are attached to the network.
+func runOne(sc scenario, spec protocolSpec, seed uint64, opts RunOptions) (runOut, error) {
 	prot, err := spec.build(len(sc.successProb))
 	if err != nil {
-		return nil, nil, fmt.Errorf("experiment: building %s: %w", spec.label, err)
+		return runOut{}, fmt.Errorf("experiment: building %s: %w", spec.label, err)
 	}
-	var opts []metrics.Option
+	var colOpts []metrics.Option
 	if sc.seriesEvery > 0 {
-		opts = append(opts, metrics.WithSeries(sc.seriesEvery))
+		colOpts = append(colOpts, metrics.WithSeries(sc.seriesEvery))
 	}
-	col, err := metrics.NewCollector(sc.required, opts...)
+	col, err := metrics.NewCollector(sc.required, colOpts...)
 	if err != nil {
-		return nil, nil, err
+		return runOut{}, err
 	}
 	nw, err := mac.NewNetwork(mac.NetworkConfig{
 		Seed:        seed,
@@ -179,11 +260,18 @@ func runOne(sc scenario, spec protocolSpec, seed uint64, withMonitor bool) (*met
 		Required:    sc.required,
 		Protocol:    prot,
 		Observers:   []mac.Observer{col},
+		Telemetry:   opts.Telemetry,
+		Events:      opts.Events,
 	})
 	if err != nil {
-		return nil, nil, err
+		return runOut{}, err
 	}
-	if withMonitor {
+	delay, err := metrics.NewDelaySketch(sc.profile.Interval)
+	if err != nil {
+		return runOut{}, err
+	}
+	delay.Attach(nw.Medium())
+	if opts.Monitor {
 		mon, err := monitor.New(monitor.Config{
 			Links:         len(sc.successProb),
 			Interval:      sc.profile.Interval,
@@ -193,31 +281,49 @@ func runOne(sc scenario, spec protocolSpec, seed uint64, withMonitor bool) (*met
 			Registry:      nw.Telemetry(),
 		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("experiment: %s: %w", spec.label, err)
+			return runOut{}, fmt.Errorf("experiment: %s: %w", spec.label, err)
 		}
-		nw.SetEventSink(mon)
+		if opts.Events != nil { // keep the external stream alongside the monitor
+			nw.SetEventSink(telemetry.MultiSink{mon, opts.Events})
+		} else {
+			nw.SetEventSink(mon)
+		}
 		nw.SetIntervalCheck(mon.Err)
 	}
 	if err := nw.Run(sc.intervals); err != nil {
-		return nil, nil, err
+		return runOut{}, err
 	}
-	return col, prot, nil
+	return runOut{col: col, delay: delay, prot: prot}, nil
 }
 
 // job is one (sweep point, protocol, seed) simulation; reduce merges its
-// collector into the aggregate.
+// output into the aggregate.
 type job struct {
 	key    string // "<x>/<protocol>"
 	x      float64
 	spec   protocolSpec
 	sc     scenario
 	seed   uint64
-	reduce func(col *metrics.Collector)
+	reduce func(seed uint64, out runOut)
+}
+
+// figureMeta identifies the figure a job pool belongs to, for progress
+// reporting.
+type figureMeta struct {
+	id    string
+	title string
 }
 
 // runJobs executes jobs across a worker pool; reduce callbacks run under a
 // single mutex so they can write shared aggregates without further locking.
-func runJobs(jobs []job, opts RunOptions) error {
+// The tracker (when set) sees the figure start, every job completion, and
+// the figure finish; Progress writes go through the options' synchronized
+// writer outside the reduce lock.
+func runJobs(meta figureMeta, jobs []job, opts RunOptions) error {
+	if opts.Tracker != nil {
+		opts.Tracker.FigureStarted(meta.id, meta.title, len(jobs))
+		defer opts.Tracker.FigureFinished(meta.id)
+	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -231,19 +337,24 @@ func runJobs(jobs []job, opts RunOptions) error {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			col, _, err := runOne(j.sc, j.spec, j.seed, opts.Monitor)
-			mu.Lock()
-			defer mu.Unlock()
+			out, err := runOne(j.sc, j.spec, j.seed, opts)
 			if err != nil {
+				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
+				mu.Unlock()
 				return
 			}
-			j.reduce(col)
+			mu.Lock()
+			j.reduce(j.seed, out)
+			mu.Unlock()
+			if opts.Tracker != nil {
+				opts.Tracker.JobCompleted(meta.id)
+			}
 			if opts.Progress != nil {
 				fmt.Fprintf(opts.Progress, "done %s seed=%d deficiency=%.4f\n",
-					j.key, j.seed, col.TotalDeficiency())
+					j.key, j.seed, out.col.TotalDeficiency())
 			}
 		}()
 	}
@@ -251,12 +362,17 @@ func runJobs(jobs []job, opts RunOptions) error {
 	return firstErr
 }
 
+// ciLevel is the confidence level figure aggregates report.
+const ciLevel = 0.95
+
 // deficiencySweep runs a standard deficiency-vs-x figure: for each x value
-// and protocol, average TotalDeficiency over opts.Seeds replications,
-// reporting the standard error of the mean alongside.
-func deficiencySweep(xs []float64, build func(x float64) (scenario, error),
+// and protocol, aggregate TotalDeficiency over opts.Seeds replications into
+// mean, standard error, 95% confidence half-width and delivery-delay
+// quantiles. Replications are seed-tagged, so the summary is independent of
+// worker completion order.
+func deficiencySweep(meta figureMeta, xs []float64, build func(x float64) (scenario, error),
 	specs []protocolSpec, opts RunOptions) ([]Series, error) {
-	aggregates := make(map[string]*stats.Accumulator)
+	aggregates := make(map[string]*stats.PointAggregate)
 	var jobs []job
 	for _, x := range xs {
 		sc, err := build(x)
@@ -265,7 +381,7 @@ func deficiencySweep(xs []float64, build func(x float64) (scenario, error),
 		}
 		for _, spec := range specs {
 			key := fmt.Sprintf("%g/%s", x, spec.label)
-			a := &stats.Accumulator{}
+			a := &stats.PointAggregate{}
 			aggregates[key] = a
 			for s := 0; s < opts.Seeds; s++ {
 				jobs = append(jobs, job{
@@ -274,14 +390,14 @@ func deficiencySweep(xs []float64, build func(x float64) (scenario, error),
 					spec: spec,
 					sc:   sc,
 					seed: opts.BaseSeed + uint64(s)*7919 + uint64(len(jobs)),
-					reduce: func(col *metrics.Collector) {
-						a.Add(col.TotalDeficiency())
+					reduce: func(seed uint64, out runOut) {
+						a.Add(out.replication(seed, out.col.TotalDeficiency()))
 					},
 				})
 			}
 		}
 	}
-	if err := runJobs(jobs, opts); err != nil {
+	if err := runJobs(meta, jobs, opts); err != nil {
 		return nil, err
 	}
 	series := make([]Series, 0, len(specs))
@@ -292,9 +408,7 @@ func deficiencySweep(xs []float64, build func(x float64) (scenario, error),
 			if a.Count() == 0 {
 				return nil, fmt.Errorf("experiment: no completed replications for %s at %g", spec.label, x)
 			}
-			s.X = append(s.X, x)
-			s.Y = append(s.Y, a.Mean())
-			s.Err = append(s.Err, a.StdErr())
+			s.addSummary(x, a.Summary(ciLevel))
 		}
 		series = append(series, s)
 	}
@@ -302,10 +416,11 @@ func deficiencySweep(xs []float64, build func(x float64) (scenario, error),
 }
 
 // groupDeficiencySweep is deficiencySweep but splits the deficiency by link
-// group, producing one curve per (protocol, group).
-func groupDeficiencySweep(xs []float64, build func(x float64) (scenario, error),
+// group, producing one curve per (protocol, group). The delay quantiles are
+// network-wide, so both group curves of one protocol share them.
+func groupDeficiencySweep(meta figureMeta, xs []float64, build func(x float64) (scenario, error),
 	specs []protocolSpec, groups map[string][]int, opts RunOptions) ([]Series, error) {
-	aggregates := make(map[string]map[string]*stats.Accumulator)
+	aggregates := make(map[string]map[string]*stats.PointAggregate)
 	var jobs []job
 	for _, x := range xs {
 		sc, err := build(x)
@@ -314,9 +429,9 @@ func groupDeficiencySweep(xs []float64, build func(x float64) (scenario, error),
 		}
 		for _, spec := range specs {
 			key := fmt.Sprintf("%g/%s", x, spec.label)
-			byGroup := make(map[string]*stats.Accumulator, len(groups))
+			byGroup := make(map[string]*stats.PointAggregate, len(groups))
 			for g := range groups {
-				byGroup[g] = &stats.Accumulator{}
+				byGroup[g] = &stats.PointAggregate{}
 			}
 			aggregates[key] = byGroup
 			for s := 0; s < opts.Seeds; s++ {
@@ -325,16 +440,16 @@ func groupDeficiencySweep(xs []float64, build func(x float64) (scenario, error),
 					spec: spec,
 					sc:   sc,
 					seed: opts.BaseSeed + uint64(s)*7919 + uint64(len(jobs)),
-					reduce: func(col *metrics.Collector) {
+					reduce: func(seed uint64, out runOut) {
 						for g, links := range groups {
-							byGroup[g].Add(col.GroupDeficiency(links))
+							byGroup[g].Add(out.replication(seed, out.col.GroupDeficiency(links)))
 						}
 					},
 				})
 			}
 		}
 	}
-	if err := runJobs(jobs, opts); err != nil {
+	if err := runJobs(meta, jobs, opts); err != nil {
 		return nil, err
 	}
 	groupNames := make([]string, 0, len(groups))
@@ -351,9 +466,7 @@ func groupDeficiencySweep(xs []float64, build func(x float64) (scenario, error),
 				if a.Count() == 0 {
 					return nil, fmt.Errorf("experiment: no completed replications for %s at %g", spec.label, x)
 				}
-				s.X = append(s.X, x)
-				s.Y = append(s.Y, a.Mean())
-				s.Err = append(s.Err, a.StdErr())
+				s.addSummary(x, a.Summary(ciLevel))
 			}
 			series = append(series, s)
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"rtmac/internal/mac"
@@ -230,18 +231,23 @@ func TestRenderCSV(t *testing.T) {
 	if err := WriteCSV(&buf, r); err != nil {
 		t.Fatal(err)
 	}
-	want := "figure,series,x,y,yerr\nfigX,A,1,0.5,\nfigX,A,2,0.25,\n"
+	want := "figure,series,x,y,yerr,ci95,delay_p50_us,delay_p95_us,delay_p99_us\n" +
+		"figX,A,1,0.5,,,,,\nfigX,A,2,0.25,,,,,\n"
 	if buf.String() != want {
 		t.Fatalf("CSV = %q, want %q", buf.String(), want)
 	}
-	// With error bars.
+	// With error bars, confidence intervals and delay quantiles.
 	r.Series[0].Err = []float64{0.1, 0.2}
+	r.Series[0].CI = []float64{0.196, 0.392}
+	r.Series[0].DelayP50 = []float64{500, 600}
+	r.Series[0].DelayP95 = []float64{1500, 1600}
+	r.Series[0].DelayP99 = []float64{1900, 1950}
 	buf.Reset()
 	if err := WriteCSV(&buf, r); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "figX,A,1,0.5,0.1") {
-		t.Fatalf("CSV missing error column: %q", buf.String())
+	if !strings.Contains(buf.String(), "figX,A,1,0.5,0.1,0.196,500,1500,1900") {
+		t.Fatalf("CSV missing aggregate columns: %q", buf.String())
 	}
 }
 
@@ -514,20 +520,154 @@ func TestSweepPropagatesBuildErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = deficiencySweep([]float64{0.5}, func(float64) (scenario, error) { return sc, nil },
+	_, err = deficiencySweep(figureMeta{id: "t"}, []float64{0.5}, func(float64) (scenario, error) { return sc, nil },
 		[]protocolSpec{broken}, RunOptions{}.fill())
 	if err == nil {
 		t.Fatal("broken protocol build did not propagate")
 	}
-	_, err = groupDeficiencySweep([]float64{0.5}, func(float64) (scenario, error) { return sc, nil },
+	_, err = groupDeficiencySweep(figureMeta{id: "t"}, []float64{0.5}, func(float64) (scenario, error) { return sc, nil },
 		[]protocolSpec{broken}, map[string][]int{"g": {0}}, RunOptions{}.fill())
 	if err == nil {
 		t.Fatal("broken protocol build did not propagate through group sweep")
 	}
-	_, err = deficiencySweep([]float64{0.5},
+	_, err = deficiencySweep(figureMeta{id: "t"}, []float64{0.5},
 		func(float64) (scenario, error) { return scenario{}, fmt.Errorf("bad scenario") },
 		[]protocolSpec{ldfSpec()}, RunOptions{}.fill())
 	if err == nil {
 		t.Fatal("scenario build error not propagated")
+	}
+}
+
+func TestRenderTableWithCIAndDelay(t *testing.T) {
+	r := &Result{
+		ID: "figX", Title: "demo", XLabel: "alpha", YLabel: "deficiency",
+		Series: []Series{{
+			Label: "A", X: []float64{0.4}, Y: []float64{1.5},
+			Err: []float64{0.1}, CI: []float64{0.196},
+			DelayP50: []float64{500}, DelayP95: []float64{1500}, DelayP99: []float64{1900},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1.5000 ±0.1960", "delivery delay quantiles",
+		"p50 500..500", "p95 1500..1500", "p99 1900..1900"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProgressWriterConcurrent hammers the synchronized Progress writer from
+// many goroutines; run with -race. Every written line must come out intact,
+// never interleaved mid-line.
+func TestProgressWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	opts := RunOptions{Progress: &buf}.fill()
+	if opts.fill().Progress != opts.Progress {
+		t.Fatal("fill re-wrapped an already synchronized writer")
+	}
+	const workers, lines = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < lines; i++ {
+				fmt.Fprintf(opts.Progress, "done worker%d line=%d deficiency=0.1234\n", w, i)
+			}
+		}()
+	}
+	wg.Wait()
+	got := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(got) != workers*lines {
+		t.Fatalf("%d lines, want %d", len(got), workers*lines)
+	}
+	for _, line := range got {
+		if !strings.HasPrefix(line, "done worker") || !strings.HasSuffix(line, "deficiency=0.1234") {
+			t.Fatalf("interleaved line %q", line)
+		}
+	}
+}
+
+// countingTracker records callbacks for tracker-threading tests.
+type countingTracker struct {
+	mu       sync.Mutex
+	started  map[string]int
+	done     map[string]int
+	finished map[string]bool
+}
+
+func newCountingTracker() *countingTracker {
+	return &countingTracker{started: map[string]int{}, done: map[string]int{}, finished: map[string]bool{}}
+}
+
+func (c *countingTracker) FigureStarted(id, title string, total int) {
+	c.mu.Lock()
+	c.started[id] = total
+	c.mu.Unlock()
+}
+
+func (c *countingTracker) JobCompleted(id string) {
+	c.mu.Lock()
+	c.done[id]++
+	c.mu.Unlock()
+}
+
+func (c *countingTracker) FigureFinished(id string) {
+	c.mu.Lock()
+	c.finished[id] = true
+	c.mu.Unlock()
+}
+
+func TestSweepReportsProgressToTracker(t *testing.T) {
+	tr := newCountingTracker()
+	opts := fastOpts()
+	opts.Seeds = 2
+	opts.Tracker = tr
+	res, err := Fig3().Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(res.Series[0].X) * len(res.Series) * opts.Seeds
+	if tr.started["fig3"] != want {
+		t.Fatalf("FigureStarted total %d, want %d", tr.started["fig3"], want)
+	}
+	if tr.done["fig3"] != want {
+		t.Fatalf("JobCompleted %d, want %d", tr.done["fig3"], want)
+	}
+	if !tr.finished["fig3"] {
+		t.Fatal("FigureFinished not called")
+	}
+}
+
+func TestSweepAggregatesDelayAndCI(t *testing.T) {
+	opts := fastOpts()
+	opts.Seeds = 2
+	res, err := Fig3().Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if len(s.CI) != len(s.Y) || len(s.DelayP50) != len(s.Y) {
+			t.Fatalf("%s: aggregate columns missing (ci %d delay %d y %d)",
+				s.Label, len(s.CI), len(s.DelayP50), len(s.Y))
+		}
+		for i := range s.Y {
+			if s.CI[i] < 0 {
+				t.Fatalf("%s: negative CI at %d", s.Label, i)
+			}
+			if s.DelayP50[i] > s.DelayP95[i] || s.DelayP95[i] > s.DelayP99[i] {
+				t.Fatalf("%s: quantiles out of order at x=%g: %v %v %v",
+					s.Label, s.X[i], s.DelayP50[i], s.DelayP95[i], s.DelayP99[i])
+			}
+			// Delays are bounded by the interval length (deadline).
+			if s.DelayP99[i] <= 0 || s.DelayP99[i] > 20000 {
+				t.Fatalf("%s: implausible p99 delay %v µs", s.Label, s.DelayP99[i])
+			}
+		}
 	}
 }

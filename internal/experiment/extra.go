@@ -32,6 +32,10 @@ func (f *overheadFigure) Title() string { return f.title }
 func (f *overheadFigure) Run(opts RunOptions) (*Result, error) {
 	opts = opts.fill()
 	const alpha = 0.6 // near the video network's capacity knee
+	if opts.Tracker != nil {
+		opts.Tracker.FigureStarted(f.id, f.title, len(f.xs)*opts.Seeds)
+		defer opts.Tracker.FigureFinished(f.id)
+	}
 	var series Series
 	series.Label = "DB-DP"
 	for _, x := range f.xs {
@@ -43,17 +47,19 @@ func (f *overheadFigure) Run(opts RunOptions) (*Result, error) {
 		if err := sc.profile.Validate(); err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", f.id, err)
 		}
-		var acc stats.Accumulator
+		var agg stats.PointAggregate
 		for s := 0; s < opts.Seeds; s++ {
-			col, _, err := runOne(sc, dbdpSpec(), opts.BaseSeed+uint64(s)*7919, opts.Monitor)
+			seed := opts.BaseSeed + uint64(s)*7919
+			run, err := runOne(sc, dbdpSpec(), seed, opts)
 			if err != nil {
 				return nil, fmt.Errorf("experiment %s: %w", f.id, err)
 			}
-			acc.Add(col.TotalDeficiency())
+			agg.Add(run.replication(seed, run.col.TotalDeficiency()))
+			if opts.Tracker != nil {
+				opts.Tracker.JobCompleted(f.id)
+			}
 		}
-		series.X = append(series.X, x)
-		series.Y = append(series.Y, acc.Mean())
-		series.Err = append(series.Err, acc.StdErr())
+		series.addSummary(x, agg.Summary(ciLevel))
 	}
 	return &Result{
 		ID:     f.id,
@@ -125,6 +131,10 @@ func (swapPairsFigure) Run(opts RunOptions) (*Result, error) {
 		XLabel: "interval",
 		YLabel: fmt.Sprintf("windowed timely-throughput of link %d", watched),
 	}
+	if opts.Tracker != nil {
+		opts.Tracker.FigureStarted("extra-swappairs", swapPairsFigure{}.Title(), 3)
+		defer opts.Tracker.FigureFinished("extra-swappairs")
+	}
 	for _, pairs := range []int{1, 3, 6} {
 		pairs := pairs
 		spec := protocolSpec{
@@ -138,16 +148,19 @@ func (swapPairsFigure) Run(opts RunOptions) (*Result, error) {
 				return core.New(n, core.PaperDebtGlauber(), core.WithPairs(pairs))
 			},
 		}
-		col, _, err := runOne(sc, spec, opts.BaseSeed, opts.Monitor)
+		run, err := runOne(sc, spec, opts.BaseSeed, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiment extra-swappairs: %w", err)
 		}
 		s := Series{Label: spec.label}
-		for _, snap := range col.Series() {
+		for _, snap := range run.col.Series() {
 			s.X = append(s.X, float64(snap.Intervals))
 			s.Y = append(s.Y, snap.Windowed[watched])
 		}
 		out.Series = append(out.Series, s)
+		if opts.Tracker != nil {
+			opts.Tracker.JobCompleted("extra-swappairs")
+		}
 	}
 	return out, nil
 }

@@ -128,10 +128,11 @@ func (f *sweepFigure) Run(opts RunOptions) (*Result, error) {
 		series []Series
 		err    error
 	)
+	meta := figureMeta{id: f.id, title: f.title}
 	if f.groups == nil {
-		series, err = deficiencySweep(f.xs, build, f.specs, opts)
+		series, err = deficiencySweep(meta, f.xs, build, f.specs, opts)
 	} else {
-		series, err = groupDeficiencySweep(f.xs, build, f.specs, f.groups, opts)
+		series, err = groupDeficiencySweep(meta, f.xs, build, f.specs, f.groups, opts)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", f.id, err)
@@ -272,17 +273,24 @@ func (convergenceFigure) Run(opts RunOptions) (*Result, error) {
 		XLabel: "interval",
 		YLabel: fmt.Sprintf("timely-throughput of link %d over time (target %.3f)", watched, target),
 	}
+	if opts.Tracker != nil {
+		opts.Tracker.FigureStarted("fig5", convergenceFigure{}.Title(), len(specs))
+		defer opts.Tracker.FigureFinished("fig5")
+	}
 	for _, spec := range specs {
-		col, _, err := runOne(sc, spec, opts.fill().BaseSeed, opts.fill().Monitor)
+		run, err := runOne(sc, spec, opts.BaseSeed, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiment fig5: %w", err)
 		}
 		s := Series{Label: spec.label}
-		for _, snap := range col.Series() {
+		for _, snap := range run.col.Series() {
 			s.X = append(s.X, float64(snap.Intervals))
 			s.Y = append(s.Y, snap.Windowed[watched])
 		}
 		out.Series = append(out.Series, s)
+		if opts.Tracker != nil {
+			opts.Tracker.JobCompleted("fig5")
+		}
 	}
 	return out, nil
 }
@@ -306,18 +314,25 @@ func (priorityProfileFigure) Run(opts RunOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Tracker != nil {
+		opts.Tracker.FigureStarted("fig6", priorityProfileFigure{}.Title(), opts.Seeds)
+		defer opts.Tracker.FigureFinished("fig6")
+	}
 	sums := make([]float64, videoLinks)
 	for s := 0; s < opts.Seeds; s++ {
 		spec := protocolSpec{label: "DP (frozen)", collisionFree: true, build: func(n int) (mac.Protocol, error) {
 			return core.New(n, core.PaperDebtGlauber(), core.WithFrozenPriorities())
 		}}
-		col, _, err := runOne(sc, spec, opts.BaseSeed+uint64(s)*7919, opts.Monitor)
+		run, err := runOne(sc, spec, opts.BaseSeed+uint64(s)*7919, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiment fig6: %w", err)
 		}
 		// With identity priorities, link n holds priority index n+1.
 		for link := 0; link < videoLinks; link++ {
-			sums[link] += col.Throughput(link)
+			sums[link] += run.col.Throughput(link)
+		}
+		if opts.Tracker != nil {
+			opts.Tracker.JobCompleted("fig6")
 		}
 	}
 	series := Series{Label: "DP (frozen priorities)"}

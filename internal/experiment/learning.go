@@ -42,6 +42,10 @@ func (learningFigure) Run(opts RunOptions) (*Result, error) {
 		XLabel: "alpha*",
 		YLabel: "total timely-throughput deficiency",
 	}
+	if opts.Tracker != nil {
+		opts.Tracker.FigureStarted("extra-learning", learningFigure{}.Title(), len(specs)*len(xs)*opts.Seeds)
+		defer opts.Tracker.FigureFinished("extra-learning")
+	}
 	for _, spec := range specs {
 		s := Series{Label: spec.label}
 		for _, x := range xs {
@@ -49,17 +53,19 @@ func (learningFigure) Run(opts RunOptions) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiment extra-learning: %w", err)
 			}
-			var acc stats.Accumulator
+			var agg stats.PointAggregate
 			for seed := 0; seed < opts.Seeds; seed++ {
-				col, _, err := runOne(sc, spec, opts.BaseSeed+uint64(seed)*7919, opts.Monitor)
+				sv := opts.BaseSeed + uint64(seed)*7919
+				run, err := runOne(sc, spec, sv, opts)
 				if err != nil {
 					return nil, fmt.Errorf("experiment extra-learning: %w", err)
 				}
-				acc.Add(col.TotalDeficiency())
+				agg.Add(run.replication(sv, run.col.TotalDeficiency()))
+				if opts.Tracker != nil {
+					opts.Tracker.JobCompleted("extra-learning")
+				}
 			}
-			s.X = append(s.X, x)
-			s.Y = append(s.Y, acc.Mean())
-			s.Err = append(s.Err, acc.StdErr())
+			s.addSummary(x, agg.Summary(ciLevel))
 		}
 		out.Series = append(out.Series, s)
 	}

@@ -8,21 +8,29 @@ import (
 	"strings"
 )
 
-// WriteCSV emits a figure's curves as long-format CSV:
-// figure,series,x,y,yerr — one row per point. yerr is the standard error of
-// the mean across replications, or empty when the sweep ran a single seed.
+// WriteCSV emits a figure's curves as long-format CSV, one row per point:
+//
+//	figure,series,x,y,yerr,ci95,delay_p50_us,delay_p95_us,delay_p99_us
+//
+// yerr is the standard error of the mean across replications and ci95 the
+// 95% confidence half-width; the delay columns are delivery-delay quantiles
+// in microseconds. Columns a figure does not aggregate stay empty.
 func WriteCSV(w io.Writer, r *Result) error {
-	if _, err := fmt.Fprintln(w, "figure,series,x,y,yerr"); err != nil {
+	if _, err := fmt.Fprintln(w, "figure,series,x,y,yerr,ci95,delay_p50_us,delay_p95_us,delay_p99_us"); err != nil {
 		return err
+	}
+	field := func(vals []float64, i int) string {
+		if vals == nil {
+			return ""
+		}
+		return fmt.Sprintf("%g", vals[i])
 	}
 	for _, s := range r.Series {
 		for i := range s.X {
-			errField := ""
-			if s.Err != nil {
-				errField = fmt.Sprintf("%g", s.Err[i])
-			}
-			if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%s\n",
-				r.ID, s.Label, s.X[i], s.Y[i], errField); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%s,%s,%s,%s,%s\n",
+				r.ID, s.Label, s.X[i], s.Y[i],
+				field(s.Err, i), field(s.CI, i),
+				field(s.DelayP50, i), field(s.DelayP95, i), field(s.DelayP99, i)); err != nil {
 				return err
 			}
 		}
@@ -31,7 +39,9 @@ func WriteCSV(w io.Writer, r *Result) error {
 }
 
 // WriteTable renders the figure as an aligned text table with one column per
-// series, the form the numbers are recorded in EXPERIMENTS.md.
+// series, the form the numbers are recorded in EXPERIMENTS.md. Series with
+// aggregated confidence intervals render cells as "mean ±ci95"; series with
+// delivery-delay quantiles get a summary block after the table.
 func WriteTable(w io.Writer, r *Result) error {
 	if len(r.Series) == 0 {
 		return fmt.Errorf("experiment: %s has no series", r.ID)
@@ -47,8 +57,12 @@ func WriteTable(w io.Writer, r *Result) error {
 	for _, x := range xs {
 		row := []string{trimFloat(x)}
 		for _, s := range r.Series {
-			if y, ok := lookup(s, x); ok {
-				row = append(row, fmt.Sprintf("%.4f", y))
+			if i, ok := lookupIdx(s, x); ok {
+				cell := fmt.Sprintf("%.4f", s.Y[i])
+				if s.CI != nil {
+					cell += fmt.Sprintf(" ±%.4f", s.CI[i])
+				}
+				row = append(row, cell)
 			} else {
 				row = append(row, "-")
 			}
@@ -58,8 +72,8 @@ func WriteTable(w io.Writer, r *Result) error {
 	widths := make([]int, len(header))
 	for _, row := range rows {
 		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if n := len([]rune(cell)); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -69,13 +83,44 @@ func WriteTable(w io.Writer, r *Result) error {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			b.WriteString(fmt.Sprintf("%*s", widths[i], cell))
+			b.WriteString(fmt.Sprintf("%*s", widths[i]+len(cell)-len([]rune(cell)), cell))
 		}
 		if _, err := fmt.Fprintln(w, b.String()); err != nil {
 			return err
 		}
 	}
+	return writeDelayBlock(w, r)
+}
+
+// writeDelayBlock appends one line per series carrying delay quantiles: the
+// range each quantile spans across the sweep, in microseconds.
+func writeDelayBlock(w io.Writer, r *Result) error {
+	wrote := false
+	for _, s := range r.Series {
+		if s.DelayP50 == nil || len(s.DelayP50) == 0 {
+			continue
+		}
+		if !wrote {
+			if _, err := fmt.Fprintln(w, "delivery delay quantiles (us, min..max across sweep):"); err != nil {
+				return err
+			}
+			wrote = true
+		}
+		if _, err := fmt.Fprintf(w, "  %-24s p50 %s  p95 %s  p99 %s\n", s.Label,
+			rangeStr(s.DelayP50), rangeStr(s.DelayP95), rangeStr(s.DelayP99)); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+func rangeStr(vals []float64) string {
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return fmt.Sprintf("%.0f..%.0f", lo, hi)
 }
 
 // WriteASCIIChart renders a coarse terminal plot of the figure, one glyph
@@ -148,9 +193,16 @@ func unionX(series []Series) []float64 {
 }
 
 func lookup(s Series, x float64) (float64, bool) {
+	if i, ok := lookupIdx(s, x); ok {
+		return s.Y[i], true
+	}
+	return 0, false
+}
+
+func lookupIdx(s Series, x float64) (int, bool) {
 	for i := range s.X {
 		if s.X[i] == x {
-			return s.Y[i], true
+			return i, true
 		}
 	}
 	return 0, false

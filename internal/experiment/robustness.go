@@ -35,10 +35,14 @@ func (f *robustnessFigure) Run(opts RunOptions) (*Result, error) {
 		XLabel: "alpha*",
 		YLabel: "total timely-throughput deficiency",
 	}
+	if opts.Tracker != nil {
+		opts.Tracker.FigureStarted(f.id, f.title, len(specs)*len(xs)*opts.Seeds)
+		defer opts.Tracker.FigureFinished(f.id)
+	}
 	for _, spec := range specs {
 		s := Series{Label: spec.label}
 		for _, x := range xs {
-			var acc stats.Accumulator
+			var agg stats.PointAggregate
 			for seed := 0; seed < opts.Seeds; seed++ {
 				cfg, err := f.build(x, opts)
 				if err != nil {
@@ -52,21 +56,30 @@ func (f *robustnessFigure) Run(opts RunOptions) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				cfg.Seed = opts.BaseSeed + uint64(seed)*7919
+				sv := opts.BaseSeed + uint64(seed)*7919
+				cfg.Seed = sv
 				cfg.Protocol = prot
 				cfg.Observers = []mac.Observer{col}
+				cfg.Telemetry = opts.Telemetry
+				cfg.Events = opts.Events
 				nw, err := mac.NewNetwork(cfg)
 				if err != nil {
 					return nil, fmt.Errorf("experiment %s: %w", f.id, err)
 				}
+				delay, err := metrics.NewDelaySketch(cfg.Profile.Interval)
+				if err != nil {
+					return nil, err
+				}
+				delay.Attach(nw.Medium())
 				if err := nw.Run(opts.scaled(videoIntervals)); err != nil {
 					return nil, fmt.Errorf("experiment %s: %w", f.id, err)
 				}
-				acc.Add(col.TotalDeficiency())
+				agg.Add(runOut{col: col, delay: delay}.replication(sv, col.TotalDeficiency()))
+				if opts.Tracker != nil {
+					opts.Tracker.JobCompleted(f.id)
+				}
 			}
-			s.X = append(s.X, x)
-			s.Y = append(s.Y, acc.Mean())
-			s.Err = append(s.Err, acc.StdErr())
+			s.addSummary(x, agg.Summary(ciLevel))
 		}
 		out.Series = append(out.Series, s)
 	}

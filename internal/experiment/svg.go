@@ -163,8 +163,12 @@ func WriteHTMLReport(w io.Writer, results []*Result) error {
 		for _, x := range unionX(r.Series) {
 			b.WriteString("<tr><td>" + trimFloat(x) + "</td>")
 			for _, s := range r.Series {
-				if y, ok := lookup(s, x); ok {
-					fmt.Fprintf(&b, "<td>%.4f</td>", y)
+				if i, ok := lookupIdx(s, x); ok {
+					fmt.Fprintf(&b, "<td>%.4f", s.Y[i])
+					if s.CI != nil {
+						fmt.Fprintf(&b, " ±%.4f", s.CI[i])
+					}
+					b.WriteString("</td>")
 				} else {
 					b.WriteString("<td>-</td>")
 				}
@@ -172,6 +176,23 @@ func WriteHTMLReport(w io.Writer, results []*Result) error {
 			b.WriteString("</tr>\n")
 		}
 		b.WriteString("</table>\n")
+		// Delivery-delay quantile table for series that aggregated them.
+		var delayed []Series
+		for _, s := range r.Series {
+			if len(s.DelayP50) > 0 {
+				delayed = append(delayed, s)
+			}
+		}
+		if len(delayed) > 0 {
+			b.WriteString("<table><tr><th>series</th><th>delay p50 (µs)</th>" +
+				"<th>delay p95 (µs)</th><th>delay p99 (µs)</th></tr>\n")
+			for _, s := range delayed {
+				fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+					html.EscapeString(s.Label),
+					rangeStr(s.DelayP50), rangeStr(s.DelayP95), rangeStr(s.DelayP99))
+			}
+			b.WriteString("</table>\n")
+		}
 	}
 	b.WriteString("</body></html>\n")
 	_, err := io.WriteString(w, b.String())

@@ -1,0 +1,72 @@
+package obs
+
+// dashboardHTML is the entire status page: one self-contained document with
+// inline CSS and script, no external assets, polling /api/progress every two
+// seconds and tailing /events over SSE.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>rtmac observability</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2rem;
+       background: #101418; color: #d6dee6; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem; }
+a { color: #6fb3ff; }
+table { border-collapse: collapse; margin-top: .5rem; }
+td, th { border: 1px solid #2c3440; padding: .25rem .6rem; text-align: left; }
+.bar { background: #1b222b; width: 16rem; height: .9rem; display: inline-block; }
+.bar > div { background: #2f81f7; height: 100%; }
+#meta { color: #8b98a5; margin: .3rem 0 0; }
+#events { background: #0b0e12; border: 1px solid #2c3440; padding: .5rem;
+          height: 14rem; overflow-y: auto; white-space: pre; font-size: .8rem; }
+</style>
+</head>
+<body>
+<h1>rtmac observability plane</h1>
+<p><a href="/metrics">/metrics</a> &middot; <a href="/api/progress">/api/progress</a>
+ &middot; <a href="/events">/events</a> &middot; <a href="/healthz">/healthz</a></p>
+<h2>Progress</h2>
+<div>overall <span class="bar"><div id="totalbar" style="width:0%"></div></span>
+ <span id="totaltext"></span></div>
+<p id="meta"></p>
+<table id="figures"><tr><th>figure</th><th>title</th><th>jobs</th><th>state</th></tr></table>
+<h2>Event stream</h2>
+<div id="events"></div>
+<script>
+function esc(s) { return String(s).replace(/[&<>]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;'}[c])); }
+async function refresh() {
+  try {
+    const p = await (await fetch('/api/progress')).json();
+    let pct = p.total_jobs ? 100 * p.done_jobs / p.total_jobs : 0;
+    if (!p.total_jobs && p.planned_intervals) pct = 100 * p.intervals / p.planned_intervals;
+    document.getElementById('totalbar').style.width = pct.toFixed(1) + '%';
+    document.getElementById('totaltext').textContent = p.total_jobs
+      ? p.done_jobs + '/' + p.total_jobs + ' jobs'
+      : (p.planned_intervals ? p.intervals + '/' + p.planned_intervals + ' intervals' : 'idle');
+    document.getElementById('meta').textContent =
+      'elapsed ' + p.elapsed_sec.toFixed(1) + 's' +
+      (p.jobs_per_sec ? ' · ' + p.jobs_per_sec.toFixed(2) + ' jobs/s' : '') +
+      (p.eta_sec ? ' · ETA ' + p.eta_sec.toFixed(1) + 's' : '');
+    const rows = ['<tr><th>figure</th><th>title</th><th>jobs</th><th>state</th></tr>'];
+    for (const f of p.figures || []) {
+      rows.push('<tr><td>' + esc(f.id) + '</td><td>' + esc(f.title) + '</td><td>' +
+        f.done_jobs + '/' + f.total_jobs + '</td><td>' +
+        (f.finished ? 'done' : 'running') + '</td></tr>');
+    }
+    document.getElementById('figures').innerHTML = rows.join('');
+  } catch (e) { /* server going away; keep polling */ }
+}
+refresh();
+setInterval(refresh, 2000);
+const log = document.getElementById('events');
+const es = new EventSource('/events');
+es.onmessage = ev => {
+  log.textContent += ev.data + '\n';
+  if (log.textContent.length > 60000) log.textContent = log.textContent.slice(-40000);
+  log.scrollTop = log.scrollHeight;
+};
+</script>
+</body>
+</html>
+`

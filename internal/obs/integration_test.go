@@ -1,0 +1,158 @@
+package obs_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rtmac/internal/experiment"
+	"rtmac/internal/obs"
+	"rtmac/internal/telemetry"
+)
+
+// TestPlaneDuringLiveSweep drives a real figure sweep with the HTTP plane
+// attached and asserts, over the live server: /metrics stays a valid
+// Prometheus payload, /api/progress counts jobs monotonically up to
+// completion with a sane ETA, and /events streams simulation events while
+// the sweep runs.
+func TestPlaneDuringLiveSweep(t *testing.T) {
+	plane := obs.NewPlane(nil)
+	srv := httptest.NewServer(plane.Handler())
+	defer srv.Close()
+
+	// Subscribe to the SSE stream before the sweep starts.
+	sseResp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	sseLines := make(chan string, 1024)
+	go func() {
+		sc := bufio.NewScanner(sseResp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			select {
+			case sseLines <- sc.Text():
+			default:
+			}
+		}
+		close(sseLines)
+	}()
+
+	opts := experiment.RunOptions{
+		Seeds:         3,
+		IntervalScale: 0.02,
+		Workers:       2,
+		Tracker:       plane.Tracker,
+		Telemetry:     plane.Registry,
+		Events:        plane.Broker,
+	}
+	sweepErr := make(chan error, 1)
+	go func() {
+		_, err := experiment.Fig3().Run(opts)
+		sweepErr <- err
+	}()
+
+	// Poll /api/progress while the sweep runs; done_jobs must never
+	// decrease and ETA must never go negative.
+	var snaps []obs.ProgressSnapshot
+	deadline := time.After(2 * time.Minute)
+	for {
+		resp, err := http.Get(srv.URL + "/api/progress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap obs.ProgressSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap)
+		select {
+		case err := <-sweepErr:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatal("sweep did not finish in time")
+		case <-time.After(2 * time.Millisecond):
+			continue
+		}
+		break
+	}
+	last := plane.Tracker.Snapshot()
+	if last.TotalJobs == 0 || last.DoneJobs != last.TotalJobs {
+		t.Fatalf("final progress %d/%d, want complete", last.DoneJobs, last.TotalJobs)
+	}
+	if last.ETASec != 0 {
+		t.Fatalf("ETA after completion: %v", last.ETASec)
+	}
+	if len(last.Figures) != 1 || last.Figures[0].ID != "fig3" || !last.Figures[0].Finished {
+		t.Fatalf("figure state: %+v", last.Figures)
+	}
+	prev := -1
+	sawPartial := false
+	for i, s := range snaps {
+		if s.DoneJobs < prev {
+			t.Fatalf("snapshot %d: done_jobs went backwards (%d after %d)", i, s.DoneJobs, prev)
+		}
+		prev = s.DoneJobs
+		if s.ETASec < 0 || s.ElapsedSec < 0 || s.JobsPerSec < 0 {
+			t.Fatalf("snapshot %d: negative rate fields: %+v", i, s)
+		}
+		if s.DoneJobs > 0 && s.DoneJobs < s.TotalJobs {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Logf("note: no mid-sweep snapshot observed across %d polls (fast machine)", len(snaps))
+	}
+
+	// /metrics over the live server must be a valid exposition with the
+	// simulators' metrics in it.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	n, err := telemetry.ValidatePrometheus(strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatalf("live /metrics invalid: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("live /metrics empty")
+	}
+
+	// The SSE stream must have carried simulation events during the sweep.
+	timeout := time.After(5 * time.Second)
+	events := 0
+	for events == 0 {
+		select {
+		case line, ok := <-sseLines:
+			if !ok {
+				t.Fatal("SSE stream closed without events")
+			}
+			if strings.HasPrefix(line, "data: ") {
+				var ev telemetry.Event
+				if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+					t.Fatalf("bad SSE event %q: %v", line, err)
+				}
+				if ev.Kind == "" {
+					t.Fatalf("event without kind: %q", line)
+				}
+				events++
+			}
+		case <-timeout:
+			t.Fatal("no SSE events received during sweep")
+		}
+	}
+}

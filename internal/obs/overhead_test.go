@@ -1,0 +1,90 @@
+package obs_test
+
+import (
+	"testing"
+
+	"rtmac/internal/arrival"
+	"rtmac/internal/core"
+	"rtmac/internal/mac"
+	"rtmac/internal/obs"
+	"rtmac/internal/phy"
+	"rtmac/internal/telemetry"
+)
+
+// newControlNetwork builds the paper's control scenario with the given event
+// sink (nil = observability disabled).
+func newControlNetwork(tb testing.TB, sink telemetry.Sink) *mac.Network {
+	tb.Helper()
+	const links = 10
+	proc, err := arrival.NewBernoulli(0.78)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	av, err := arrival.Uniform(links, proc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prob := make([]float64, links)
+	req := make([]float64, links)
+	for i := range prob {
+		prob[i] = 0.7
+		req[i] = 0.99 * 0.78
+	}
+	prot, err := core.NewDBDP(links)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	nw, err := mac.NewNetwork(mac.NetworkConfig{
+		Seed:        1,
+		Profile:     phy.Control(),
+		SuccessProb: prob,
+		Arrivals:    av,
+		Required:    req,
+		Protocol:    prot,
+		Events:      sink,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return nw
+}
+
+// BenchmarkIntervalPlaneDisabled is the disabled-plane case: no sink, so the
+// interval loop takes the `sink == nil` fast path and skips event
+// construction entirely. It must match the root package's
+// BenchmarkIntervalDBDP (the pre-plane baseline) — a regression here means
+// the plane leaks work into runs that never asked for it.
+func BenchmarkIntervalPlaneDisabled(b *testing.B) {
+	nw := newControlNetwork(b, nil)
+	b.ResetTimer()
+	if err := nw.Run(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkIntervalPlaneIdle attaches the plane's broker with zero SSE
+// subscribers — the -serve steady state when nobody is watching. Attaching
+// any sink turns on event construction in the instrumentation layer, so this
+// costs more than disabled; the broker itself stays allocation-free (see
+// TestBrokerEmitZeroSubscribersDoesNotAllocate).
+func BenchmarkIntervalPlaneIdle(b *testing.B) {
+	plane := obs.NewPlane(nil)
+	nw := newControlNetwork(b, plane.Broker)
+	b.ResetTimer()
+	if err := nw.Run(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestBrokerEmitZeroSubscribersDoesNotAllocate pins the disabled-plane
+// guarantee: with no subscribers, Emit is a single atomic check and
+// allocates nothing, even for events carrying a Fields map.
+func TestBrokerEmitZeroSubscribersDoesNotAllocate(t *testing.T) {
+	b := obs.NewBroker()
+	ev := telemetry.Event{K: 7, Kind: "interval", Link: -1,
+		Fields: map[string]float64{"deficiency": 0.5}}
+	allocs := testing.AllocsPerRun(1000, func() { b.Emit(ev) })
+	if allocs != 0 {
+		t.Fatalf("Emit with zero subscribers allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"rtmac/internal/telemetry"
+)
+
+// Plane bundles the HTTP observability endpoints around one telemetry
+// registry, one progress tracker and one event broker:
+//
+//	/             embedded auto-refreshing HTML dashboard
+//	/healthz      liveness probe, returns "ok"
+//	/metrics      Prometheus text exposition of the registry
+//	/api/progress ProgressSnapshot as JSON
+//	/events       Server-Sent Events tail of the telemetry event stream
+//
+// Construct with NewPlane, then either Start it on a listen address or mount
+// Handler() under an existing server (tests use httptest).
+type Plane struct {
+	Registry *telemetry.Registry
+	Tracker  *Tracker
+	Broker   *Broker
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewPlane builds a plane around reg (a fresh registry if nil) with a new
+// tracker and broker.
+func NewPlane(reg *telemetry.Registry) *Plane {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Plane{Registry: reg, Tracker: NewTracker(), Broker: NewBroker()}
+}
+
+// Handler returns the plane's route table.
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", p.handleDashboard)
+	mux.HandleFunc("/healthz", p.handleHealthz)
+	mux.HandleFunc("/metrics", p.handleMetrics)
+	mux.HandleFunc("/api/progress", p.handleProgress)
+	mux.HandleFunc("/events", p.handleEvents)
+	return mux
+}
+
+// Start listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves in a
+// background goroutine until Close.
+func (p *Plane) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	p.ln = ln
+	p.srv = &http.Server{Handler: p.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = p.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address, useful with ":0".
+func (p *Plane) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests. SSE
+// streams are request-scoped and end when their client context is cancelled
+// by the shutdown.
+func (p *Plane) Close() error {
+	if p.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := p.srv.Shutdown(ctx)
+	if err != nil {
+		err = p.srv.Close()
+	}
+	p.srv = nil
+	p.ln = nil
+	return err
+}
+
+func (p *Plane) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (p *Plane) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := p.Registry.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (p *Plane) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p.Tracker.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (p *Plane) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	ch, cancel := p.Broker.Subscribe(256)
+	defer cancel()
+	fmt.Fprint(w, ": stream open\n\n")
+	fl.Flush()
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case data := <-ch:
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+func (p *Plane) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}

@@ -1,0 +1,147 @@
+// Package obs is the live observability plane: an embedded HTTP server that
+// exposes the telemetry registry in Prometheus format, sweep progress with
+// rate and ETA estimates as JSON, and the structured event stream as
+// Server-Sent Events, plus a small self-contained HTML dashboard. It depends
+// only on the standard library and the telemetry package, so both the CLI
+// simulator and the figure pipeline can attach it without import cycles.
+//
+// Everything here is wall-clock instrumentation of the *host* process; it
+// never touches simulated time.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// FigureProgress is the completion state of one figure's job pool.
+type FigureProgress struct {
+	ID        string `json:"id"`
+	Title     string `json:"title"`
+	TotalJobs int    `json:"total_jobs"`
+	DoneJobs  int    `json:"done_jobs"`
+	Finished  bool   `json:"finished"`
+}
+
+// ProgressSnapshot is the JSON document served at /api/progress.
+type ProgressSnapshot struct {
+	StartedAt  time.Time `json:"started_at"`
+	ElapsedSec float64   `json:"elapsed_sec"`
+	TotalJobs  int       `json:"total_jobs"`
+	DoneJobs   int       `json:"done_jobs"`
+	// JobsPerSec is the mean completion rate since the first FigureStarted;
+	// ETASec extrapolates it over the remaining jobs (0 until the rate is
+	// known, and once everything is done).
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	ETASec     float64 `json:"eta_sec"`
+	// Intervals/PlannedIntervals report single-run progress when the plane
+	// is attached to one simulation instead of a sweep.
+	Intervals        int64            `json:"intervals,omitempty"`
+	PlannedIntervals int64            `json:"planned_intervals,omitempty"`
+	Figures          []FigureProgress `json:"figures"`
+}
+
+// Tracker accumulates sweep- and run-level progress. All methods are safe for
+// concurrent use; experiment workers call JobCompleted from many goroutines.
+// The zero value is not usable; construct with NewTracker.
+type Tracker struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	startedAt time.Time
+	figures   map[string]*FigureProgress
+	order     []string
+	totalJobs int
+	doneJobs  int
+	intervals int64
+	planned   int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{now: time.Now, figures: make(map[string]*FigureProgress)}
+}
+
+// FigureStarted registers a figure and the number of jobs it will run.
+// Implements the experiment package's ProgressTracker interface.
+func (t *Tracker) FigureStarted(id, title string, totalJobs int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.startedAt.IsZero() {
+		t.startedAt = t.now()
+	}
+	if f, ok := t.figures[id]; ok { // re-run of a known figure: reset it
+		t.totalJobs -= f.TotalJobs
+		t.doneJobs -= f.DoneJobs
+		*f = FigureProgress{ID: id, Title: title, TotalJobs: totalJobs}
+	} else {
+		t.figures[id] = &FigureProgress{ID: id, Title: title, TotalJobs: totalJobs}
+		t.order = append(t.order, id)
+	}
+	t.totalJobs += totalJobs
+}
+
+// JobCompleted records one finished job for the figure.
+func (t *Tracker) JobCompleted(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.figures[id]; ok {
+		f.DoneJobs++
+		t.doneJobs++
+	}
+}
+
+// FigureFinished marks the figure complete.
+func (t *Tracker) FigureFinished(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.figures[id]; ok {
+		f.Finished = true
+	}
+}
+
+// SetPlannedIntervals declares how many intervals a single attached run will
+// simulate, enabling interval-level progress in the snapshot.
+func (t *Tracker) SetPlannedIntervals(n int64) {
+	t.mu.Lock()
+	t.planned = n
+	if t.startedAt.IsZero() {
+		t.startedAt = t.now()
+	}
+	t.mu.Unlock()
+}
+
+// IntervalsDone updates the number of simulated intervals completed so far.
+func (t *Tracker) IntervalsDone(n int64) {
+	t.mu.Lock()
+	if n > t.intervals {
+		t.intervals = n
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the current progress document.
+func (t *Tracker) Snapshot() ProgressSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := ProgressSnapshot{
+		StartedAt:        t.startedAt,
+		TotalJobs:        t.totalJobs,
+		DoneJobs:         t.doneJobs,
+		Intervals:        t.intervals,
+		PlannedIntervals: t.planned,
+		Figures:          make([]FigureProgress, 0, len(t.order)),
+	}
+	for _, id := range t.order {
+		snap.Figures = append(snap.Figures, *t.figures[id])
+	}
+	if !t.startedAt.IsZero() {
+		snap.ElapsedSec = t.now().Sub(t.startedAt).Seconds()
+	}
+	if snap.ElapsedSec > 0 && t.doneJobs > 0 {
+		snap.JobsPerSec = float64(t.doneJobs) / snap.ElapsedSec
+		if remaining := t.totalJobs - t.doneJobs; remaining > 0 {
+			snap.ETASec = float64(remaining) / snap.JobsPerSec
+		}
+	}
+	return snap
+}

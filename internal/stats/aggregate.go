@@ -1,0 +1,104 @@
+package stats
+
+import "sort"
+
+// Merge folds another accumulator into this one (Chan et al.'s parallel
+// Welford update), so per-worker accumulators can be combined into one
+// fleet-wide estimate.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	a.mean += delta * float64(b.n) / float64(n)
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	a.n = n
+}
+
+// Replication is one seeded run's contribution to a curve point: the headline
+// metric (deficiency for the paper's sweeps) plus the delivery-delay summary
+// reduced from that run's quantile sketch. Seed tags the replication so
+// merged aggregates stay order-independent.
+type Replication struct {
+	Seed uint64
+	// Value is the headline per-point metric.
+	Value float64
+	// Delay quantiles in simulated microseconds; zero when the run recorded
+	// no deliveries.
+	DelayP50, DelayP95, DelayP99 float64
+	// DelayCount is the number of deliveries behind the quantiles.
+	DelayCount int64
+}
+
+// PointAggregate merges replications of one curve point across seeds — and,
+// via Merge, across whole runs or machines. Aggregation is a multiset union:
+// summaries are computed over the replications sorted by seed, so the result
+// is independent of both worker completion order and merge order.
+type PointAggregate struct {
+	reps []Replication
+}
+
+// Add records one replication.
+func (a *PointAggregate) Add(r Replication) { a.reps = append(a.reps, r) }
+
+// Merge folds another aggregate's replications into this one. Merging is
+// commutative and associative: the summary depends only on the union of
+// replications.
+func (a *PointAggregate) Merge(b *PointAggregate) {
+	a.reps = append(a.reps, b.reps...)
+}
+
+// Count returns the number of replications aggregated.
+func (a *PointAggregate) Count() int { return len(a.reps) }
+
+// PointSummary is the fleet statistic of one curve point.
+type PointSummary struct {
+	// N is the number of replications.
+	N int64
+	// Mean, StdErr and CIHalf describe the headline metric: CIHalf is the
+	// half-width of the normal-approximation confidence interval at the
+	// level Summary was asked for.
+	Mean, StdErr, CIHalf float64
+	// DelayP50/P95/P99 average each replication's delay quantile across
+	// seeds (µs); DelayCount totals the deliveries behind them.
+	DelayP50, DelayP95, DelayP99 float64
+	DelayCount                   int64
+}
+
+// Summary reduces the aggregate at the given confidence level (e.g. 0.95).
+// Replications are folded in seed order so two aggregates holding the same
+// replications produce bit-identical summaries regardless of insertion or
+// merge order.
+func (a *PointAggregate) Summary(level float64) PointSummary {
+	reps := append([]Replication(nil), a.reps...)
+	sort.Slice(reps, func(i, j int) bool {
+		if reps[i].Seed != reps[j].Seed {
+			return reps[i].Seed < reps[j].Seed
+		}
+		return reps[i].Value < reps[j].Value
+	})
+	var value, p50, p95, p99 Accumulator
+	out := PointSummary{}
+	for _, r := range reps {
+		value.Add(r.Value)
+		out.DelayCount += r.DelayCount
+		if r.DelayCount > 0 {
+			p50.Add(r.DelayP50)
+			p95.Add(r.DelayP95)
+			p99.Add(r.DelayP99)
+		}
+	}
+	out.N = value.Count()
+	out.Mean = value.Mean()
+	out.StdErr = value.StdErr()
+	out.CIHalf = value.Confidence(level).Half
+	out.DelayP50 = p50.Mean()
+	out.DelayP95 = p95.Mean()
+	out.DelayP99 = p99.Mean()
+	return out
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	var whole Accumulator
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var left, right Accumulator
+	for _, x := range xs[:400] {
+		left.Add(x)
+	}
+	for _, x := range xs[400:] {
+		right.Add(x)
+	}
+	left.Merge(&right)
+	if left.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", left.Count(), whole.Count())
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v, sequential %v", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Variance()-whole.Variance()) > 1e-9 {
+		t.Fatalf("merged variance %v, sequential %v", left.Variance(), whole.Variance())
+	}
+}
+
+func TestAccumulatorMergeEmptySides(t *testing.T) {
+	var a, b Accumulator
+	b.Add(4)
+	b.Add(6)
+	a.Merge(&b) // empty ← filled
+	if a.Count() != 2 || a.Mean() != 5 {
+		t.Fatalf("after merge into empty: n=%d mean=%v", a.Count(), a.Mean())
+	}
+	var c Accumulator
+	a.Merge(&c) // filled ← empty
+	if a.Count() != 2 || a.Mean() != 5 {
+		t.Fatalf("after merging empty in: n=%d mean=%v", a.Count(), a.Mean())
+	}
+}
+
+// replications builds a deterministic pool of tagged replications.
+func replications(n int) []Replication {
+	rng := rand.New(rand.NewPCG(21, 22))
+	out := make([]Replication, n)
+	for i := range out {
+		out[i] = Replication{
+			Seed:       uint64(1000 + i),
+			Value:      rng.Float64() * 2,
+			DelayP50:   500 + rng.Float64()*100,
+			DelayP95:   1500 + rng.Float64()*100,
+			DelayP99:   1900 + rng.Float64()*50,
+			DelayCount: int64(100 + i),
+		}
+	}
+	return out
+}
+
+func TestPointAggregateMergeCommutative(t *testing.T) {
+	reps := replications(9)
+	// Partition the replications three ways and merge in every order; the
+	// summaries must be bit-identical.
+	build := func(order [][]Replication) PointSummary {
+		var total PointAggregate
+		for _, part := range order {
+			var a PointAggregate
+			for _, r := range part {
+				a.Add(r)
+			}
+			total.Merge(&a)
+		}
+		return total.Summary(0.95)
+	}
+	p1, p2, p3 := reps[:3], reps[3:5], reps[5:]
+	base := build([][]Replication{p1, p2, p3})
+	for _, order := range [][][]Replication{
+		{p3, p2, p1},
+		{p2, p1, p3},
+		{p3, p1, p2},
+	} {
+		if got := build(order); got != base {
+			t.Fatalf("merge order changed the summary:\n%+v\nvs\n%+v", got, base)
+		}
+	}
+	// Insertion order within one aggregate must not matter either.
+	var rev PointAggregate
+	for i := len(reps) - 1; i >= 0; i-- {
+		rev.Add(reps[i])
+	}
+	if got := rev.Summary(0.95); got != base {
+		t.Fatalf("insertion order changed the summary:\n%+v\nvs\n%+v", got, base)
+	}
+}
+
+func TestPointAggregateSummary(t *testing.T) {
+	var a PointAggregate
+	a.Add(Replication{Seed: 1, Value: 1, DelayP50: 100, DelayP95: 200, DelayP99: 300, DelayCount: 10})
+	a.Add(Replication{Seed: 2, Value: 3, DelayP50: 300, DelayP95: 400, DelayP99: 500, DelayCount: 30})
+	sum := a.Summary(0.95)
+	if sum.N != 2 || sum.Mean != 2 {
+		t.Fatalf("N=%d Mean=%v", sum.N, sum.Mean)
+	}
+	// StdErr of {1,3} is 1; 95% CI half-width is 1.96·1.
+	if math.Abs(sum.StdErr-1) > 1e-12 {
+		t.Fatalf("StdErr = %v, want 1", sum.StdErr)
+	}
+	if math.Abs(sum.CIHalf-1.96) > 1e-12 {
+		t.Fatalf("CIHalf = %v, want 1.96", sum.CIHalf)
+	}
+	if sum.DelayP50 != 200 || sum.DelayP95 != 300 || sum.DelayP99 != 400 {
+		t.Fatalf("delay quantile means: %+v", sum)
+	}
+	if sum.DelayCount != 40 {
+		t.Fatalf("DelayCount = %d, want 40", sum.DelayCount)
+	}
+}
+
+func TestPointAggregateSkipsEmptyDelay(t *testing.T) {
+	var a PointAggregate
+	a.Add(Replication{Seed: 1, Value: 1, DelayCount: 0})
+	a.Add(Replication{Seed: 2, Value: 2, DelayP50: 100, DelayP95: 200, DelayP99: 300, DelayCount: 5})
+	sum := a.Summary(0.95)
+	// The zero-delivery replication must not drag the delay means to zero.
+	if sum.DelayP50 != 100 || sum.DelayP95 != 200 || sum.DelayP99 != 300 {
+		t.Fatalf("delay means polluted by empty replication: %+v", sum)
+	}
+	if sum.DelayCount != 5 {
+		t.Fatalf("DelayCount = %d, want 5", sum.DelayCount)
+	}
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", a.Count())
+	}
+}

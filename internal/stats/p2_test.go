@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference the sketch is judged against.
+func exactQuantile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// checkP2 streams xs through a P² estimator for each quantile and asserts
+// the estimate lands within tol·(max−min) of the exact sample quantile.
+func checkP2(t *testing.T, name string, xs []float64, quantiles []float64, tol float64) {
+	t.Helper()
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	span := sorted[len(sorted)-1] - sorted[0]
+	if span == 0 {
+		span = 1
+	}
+	for _, q := range quantiles {
+		p2, err := NewP2(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs {
+			p2.Add(x)
+		}
+		got := p2.Quantile()
+		want := exactQuantile(sorted, q)
+		if diff := math.Abs(got - want); diff > tol*span {
+			t.Errorf("%s: p%.0f = %v, exact %v (|diff| %v > %v)",
+				name, q*100, got, want, diff, tol*span)
+		}
+	}
+}
+
+func TestP2UniformStream(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	checkP2(t, "uniform", xs, []float64{0.5, 0.95, 0.99}, 0.01)
+}
+
+func TestP2ExponentialStream(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	// Heavy right tail: judge against the span, with a slightly wider band
+	// for the extreme quantiles.
+	checkP2(t, "exponential", xs, []float64{0.5, 0.95, 0.99}, 0.02)
+}
+
+func TestP2AdversariallySortedStreams(t *testing.T) {
+	n := 10000
+	asc := make([]float64, n)
+	for i := range asc {
+		asc[i] = float64(i)
+	}
+	desc := make([]float64, n)
+	for i := range desc {
+		desc[i] = float64(n - i)
+	}
+	// Monotone input is P²'s worst case; the markers still have to land
+	// within a few percent of the exact quantiles.
+	checkP2(t, "ascending", asc, []float64{0.5, 0.95, 0.99}, 0.05)
+	checkP2(t, "descending", desc, []float64{0.5, 0.95, 0.99}, 0.05)
+}
+
+func TestP2SmallStreamsAreExact(t *testing.T) {
+	p2, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Quantile() != 0 {
+		t.Fatalf("empty sketch Quantile = %v, want 0", p2.Quantile())
+	}
+	for _, x := range []float64{9, 1, 5} {
+		p2.Add(x)
+	}
+	// Exact median of {1, 5, 9} from the init buffer.
+	if got := p2.Quantile(); got != 5 {
+		t.Fatalf("3-sample median = %v, want 5", got)
+	}
+	if p2.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", p2.Count())
+	}
+}
+
+func TestP2RejectsBadQuantiles(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewP2(q); err == nil {
+			t.Errorf("NewP2(%v) accepted", q)
+		}
+	}
+}
+
+func TestP2Deterministic(t *testing.T) {
+	build := func() float64 {
+		p2, _ := NewP2(0.95)
+		rng := rand.New(rand.NewPCG(7, 7))
+		for i := 0; i < 5000; i++ {
+			p2.Add(rng.NormFloat64())
+		}
+		return p2.Quantile()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("same stream gave different estimates: %v vs %v", a, b)
+	}
+}
+
+func TestQuantileSketch(t *testing.T) {
+	sk, err := NewQuantileSketch(0.5, 0.95, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	for _, x := range xs {
+		sk.Add(x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if sk.Count() != int64(len(xs)) {
+		t.Fatalf("Count = %d", sk.Count())
+	}
+	if sk.Min() != sorted[0] || sk.Max() != sorted[len(sorted)-1] {
+		t.Fatalf("Min/Max = %v/%v, want %v/%v", sk.Min(), sk.Max(), sorted[0], sorted[len(sorted)-1])
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got, want := sk.Quantile(q), exactQuantile(sorted, q)
+		if math.Abs(got-want) > 2 { // 2% of the 0..100 span
+			t.Errorf("p%.0f = %v, exact %v", q*100, got, want)
+		}
+	}
+}
+
+func TestQuantileSketchValidation(t *testing.T) {
+	if _, err := NewQuantileSketch(); err == nil {
+		t.Error("empty quantile list accepted")
+	}
+	if _, err := NewQuantileSketch(0.5, 0.5); err == nil {
+		t.Error("non-increasing quantiles accepted")
+	}
+	if _, err := NewQuantileSketch(0.9, 0.5); err == nil {
+		t.Error("decreasing quantiles accepted")
+	}
+	sk, err := NewQuantileSketch(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Min() != 0 || sk.Max() != 0 {
+		t.Error("empty sketch Min/Max not 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("untracked quantile lookup did not panic")
+		}
+	}()
+	sk.Quantile(0.75)
+}

@@ -23,25 +23,30 @@ func promFloat(v float64) string {
 }
 
 // WritePrometheus renders every registered metric in the Prometheus text
-// exposition format (version 0.0.4), sorted by name so output is stable.
+// exposition format (version 0.0.4), sorted by name so output is stable. The
+// values are captured in one consistent snapshot under the registry lock, so
+// scraping concurrently with metric updates is safe and never tears a
+// histogram mid-exposition.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	for _, m := range r.sorted() {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+	for _, m := range r.snapshot() {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
 			return err
 		}
 		var err error
-		switch m.kind {
-		case KindCounter:
-			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.ctr.Value())
-		case KindGauge:
-			_, err = fmt.Fprintf(w, "%s %s\n", m.name, promFloat(m.gge.Value()))
-		case KindHistogram:
-			err = writePromHistogram(w, m.name, m.hst.Snapshot())
+		switch m.Kind {
+		case KindCounter.String():
+			_, err = fmt.Fprintf(w, "%s %d\n", m.Name, int64(m.Value))
+		case KindGauge.String():
+			_, err = fmt.Fprintf(w, "%s %s\n", m.Name, promFloat(m.Value))
+		case KindHistogram.String():
+			err = writePromHistogram(w, m.Name, HistogramSnapshot{
+				Bounds: m.Bounds, Counts: m.Counts, Sum: m.Sum, Total: m.Total,
+			})
 		}
 		if err != nil {
 			return err
@@ -83,24 +88,10 @@ type MetricSnapshot struct {
 	Total  uint64    `json:"total,omitempty"`
 }
 
-// Snapshot returns every metric's current state, sorted by name.
+// Snapshot returns every metric's current state, sorted by name, captured in
+// one consistent critical section.
 func (r *Registry) Snapshot() []MetricSnapshot {
-	ms := r.sorted()
-	out := make([]MetricSnapshot, 0, len(ms))
-	for _, m := range ms {
-		snap := MetricSnapshot{Name: m.name, Help: m.help, Kind: m.kind.String()}
-		switch m.kind {
-		case KindCounter:
-			snap.Value = float64(m.ctr.Value())
-		case KindGauge:
-			snap.Value = m.gge.Value()
-		case KindHistogram:
-			h := m.hst.Snapshot()
-			snap.Bounds, snap.Counts, snap.Sum, snap.Total = h.Bounds, h.Counts, h.Sum, h.Total
-		}
-		out = append(out, snap)
-	}
-	return out
+	return r.snapshot()
 }
 
 // WriteJSON renders the registry as an indented JSON array of metric

@@ -243,14 +243,28 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// sorted returns the metrics ordered by name, for deterministic exposition.
-func (r *Registry) sorted() []*metric {
+// snapshot captures every metric's name, kind, help and current value inside
+// one registry critical section, ordered by name. A scrape therefore observes
+// a consistent point-in-time view — concurrent metric updates and even
+// concurrent first-use registrations cannot tear the exposition mid-write —
+// and two scrapes of a quiesced registry are byte-identical.
+func (r *Registry) snapshot() []MetricSnapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]*metric, 0, len(r.metrics))
+	out := make([]MetricSnapshot, 0, len(r.metrics))
 	for _, m := range r.metrics {
-		out = append(out, m)
+		snap := MetricSnapshot{Name: m.name, Help: m.help, Kind: m.kind.String()}
+		switch m.kind {
+		case KindCounter:
+			snap.Value = float64(m.ctr.Value())
+		case KindGauge:
+			snap.Value = m.gge.Value()
+		case KindHistogram:
+			h := m.hst.Snapshot()
+			snap.Bounds, snap.Counts, snap.Sum, snap.Total = h.Bounds, h.Counts, h.Sum, h.Total
+		}
+		out = append(out, snap)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -188,5 +189,58 @@ func TestRegistryConcurrency(t *testing.T) {
 	}
 	if got := reg.Histogram("rtmac_conc_hist", "", []float64{10, 100}).Snapshot().Total; got != workers*perWorker {
 		t.Errorf("histogram total = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestWritePrometheusConcurrentScrape scrapes the registry while worker
+// goroutines hammer existing metrics and register brand-new ones. Every
+// scrape must be a valid exposition payload, and once the writers quiesce,
+// two scrapes must be byte-identical.
+func TestWritePrometheusConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("scrape_seed_total", "").Inc()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("scrape_tx_total", "")
+			g := reg.Gauge("scrape_level", "")
+			h := reg.Histogram("scrape_delay", "", []float64{10, 100, 1000})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 2000))
+				// Registration mid-scrape must not tear the exposition.
+				reg.Counter(fmt.Sprintf("scrape_dyn_%d_%d_total", w, i%8), "").Inc()
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		if _, err := ValidatePrometheus(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("scrape %d invalid: %v\npayload:\n%s", i, err, sb.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	var a, b strings.Builder
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("quiesced scrapes differ")
 	}
 }

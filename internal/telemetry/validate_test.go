@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidatePrometheusAcceptsExporterOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tx_total", "transmissions").Add(42)
+	r.Gauge("deficiency", "current deficiency").Set(0.25)
+	h := r.Histogram("delay_us", "delivery delay", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidatePrometheus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("exporter output rejected: %v\npayload:\n%s", err, sb.String())
+	}
+	// 1 counter + 1 gauge + (4 buckets + sum + count) = 8 samples.
+	if n != 8 {
+		t.Fatalf("sample count = %d, want 8", n)
+	}
+}
+
+func TestValidatePrometheusAcceptsSpecialValues(t *testing.T) {
+	payload := `# TYPE up gauge
+up{job="sim",instance="local"} +Inf
+# TYPE down gauge
+down NaN 1700000000
+`
+	if _, err := ValidatePrometheus(strings.NewReader(payload)); err != nil {
+		t.Fatalf("special float values rejected: %v", err)
+	}
+}
+
+func TestValidatePrometheusRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+	}{
+		{"empty payload", ""},
+		{"comments only", "# HELP x y\n# TYPE x counter\n"},
+		{"bad metric name", "# TYPE 9lives counter\n9lives 1\n"},
+		{"bad value", "# TYPE x counter\nx banana\n"},
+		{"sample without TYPE", "x 1\n"},
+		{"unknown type", "# TYPE x ramekin\nx 1\n"},
+		{"duplicate TYPE", "# TYPE x counter\n# TYPE x counter\nx 1\n"},
+		{"unterminated labels", "# TYPE x counter\nx{le=\"1\" 1\n"},
+		{"unquoted label value", "# TYPE x counter\nx{le=1} 1\n"},
+		{"missing value", "# TYPE x counter\nx\n"},
+		{"non-monotone bounds", "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\n" +
+			"h_sum 4\nh_count 3\n"},
+		{"decreasing cumulative", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n" +
+			"h_sum 4\nh_count 5\n"},
+		{"count mismatch", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 3\n" +
+			"h_sum 4\nh_count 9\n"},
+		{"missing inf bucket", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 4\nh_count 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ValidatePrometheus(strings.NewReader(tc.payload)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package rtmac
+
+import (
+	"rtmac/internal/obs"
+	"rtmac/internal/telemetry"
+)
+
+// Observability is a live HTTP observability plane attached to a running
+// simulation. It serves, on the address given to ServeObservability:
+//
+//	/             an auto-refreshing HTML dashboard
+//	/healthz      a liveness probe
+//	/metrics      the simulation's metric registry, Prometheus text format
+//	/api/progress interval-level run progress as JSON
+//	/events       the structured event stream as Server-Sent Events
+//
+// The plane is passive: with no HTTP clients connected it costs the run
+// nothing beyond event construction, and SSE subscribers that fall behind
+// drop events rather than stall the simulation.
+type Observability struct {
+	plane *obs.Plane
+}
+
+// ServeObservability starts an observability plane for this simulation on
+// addr (e.g. ":8080", or "127.0.0.1:0" to pick a free port — read it back
+// with Addr). plannedIntervals, when positive, sizes the run progress bar;
+// pass the interval count you are about to Run. Call before Run so the event
+// tail covers the whole run, and Close when done.
+func (s *Simulation) ServeObservability(addr string, plannedIntervals int) (*Observability, error) {
+	plane := obs.NewPlane(s.nw.Telemetry())
+	if plannedIntervals > 0 {
+		plane.Tracker.SetPlannedIntervals(int64(plannedIntervals))
+	}
+	s.addSink(planeSink{plane})
+	if err := plane.Start(addr); err != nil {
+		return nil, err
+	}
+	return &Observability{plane: plane}, nil
+}
+
+// Addr returns the bound listen address.
+func (o *Observability) Addr() string { return o.plane.Addr() }
+
+// Close shuts the HTTP server down, ending any open SSE streams.
+func (o *Observability) Close() error { return o.plane.Close() }
+
+// planeSink fans the simulation's event stream into the plane's SSE broker
+// and folds interval boundaries into the run progress tracker.
+type planeSink struct {
+	plane *obs.Plane
+}
+
+func (p planeSink) Emit(ev telemetry.Event) {
+	p.plane.Broker.Emit(ev)
+	if ev.Kind == telemetry.EventInterval {
+		p.plane.Tracker.IntervalsDone(ev.K + 1)
+	}
+}

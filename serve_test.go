@@ -1,0 +1,84 @@
+package rtmac_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"rtmac"
+)
+
+// TestServeObservability runs a short simulation with the HTTP plane attached
+// and checks the public surface end to end: the scrape endpoint serves a
+// valid exposition of the live registry, and /api/progress reports the run's
+// interval progress against the planned total.
+func TestServeObservability(t *testing.T) {
+	links := make([]rtmac.Link, 4)
+	for i := range links {
+		links[i] = rtmac.Link{
+			SuccessProb:   0.7,
+			Arrivals:      rtmac.MustBernoulliArrivals(0.6),
+			DeliveryRatio: 0.9,
+		}
+	}
+	sim, err := rtmac.NewSimulation(rtmac.Config{
+		Seed:     1,
+		Profile:  rtmac.ControlProfile(),
+		Links:    links,
+		Protocol: rtmac.DBDP(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const intervals = 200
+	obsrv, err := sim.ServeObservability("127.0.0.1:0", intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obsrv.Close()
+	if err := sim.Run(intervals); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", obsrv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := rtmac.ValidatePrometheusText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics invalid: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("/metrics served no samples")
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/api/progress", obsrv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Intervals        int64 `json:"intervals"`
+		PlannedIntervals int64 `json:"planned_intervals"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.PlannedIntervals != intervals {
+		t.Errorf("planned_intervals = %d, want %d", snap.PlannedIntervals, intervals)
+	}
+	if snap.Intervals != intervals {
+		t.Errorf("intervals = %d, want %d after the run", snap.Intervals, intervals)
+	}
+
+	addr := obsrv.Addr()
+	if err := obsrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("plane still reachable after Close")
+	}
+}

@@ -41,6 +41,16 @@ func (t Telemetry) Counter(name string) (int64, error) {
 	return 0, fmt.Errorf("rtmac: unknown counter %q", name)
 }
 
+// ValidatePrometheusText checks that r is a well-formed Prometheus text
+// exposition (the format served at /metrics and written by WritePrometheus):
+// every sample parses, histograms have monotone cumulative buckets ending in
+// +Inf, and _count agrees with the +Inf bucket. It returns the number of
+// samples read. Used by `rtmacsim -checkmetrics` and the CI smoke test to
+// guard the scrape endpoint.
+func ValidatePrometheusText(r io.Reader) (int, error) {
+	return telemetry.ValidatePrometheus(r)
+}
+
 // EventOption configures a simulation event stream.
 type EventOption = telemetry.JSONLOption
 
