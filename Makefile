@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare figures figures-quick telemetry-smoke monitor-smoke serve-smoke fuzz cover clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke serve-smoke fuzz cover clean
 
 all: build vet test
 
@@ -26,10 +26,18 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchtrend
 
-# Diff two benchtrend reports and fail on a >10% ns/interval regression:
+# Diff two benchtrend reports and fail on a >10% ns/interval regression or
+# any allocs/op growth:
 #   make bench-compare OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-06.json
 bench-compare:
 	$(GO) run ./cmd/benchtrend -compare $(OLD) $(NEW)
+
+# Performance regression gate: measure the current tree and compare it
+# against the newest committed BENCH_*.json, failing on >10% ns/interval or
+# ANY allocs/op growth on any protocol. CI runs this on every push.
+bench-gate:
+	$(GO) run ./cmd/benchtrend -out /tmp/bench-gate.json
+	$(GO) run ./cmd/benchtrend -compare $$(ls BENCH_*.json | sort | tail -1) /tmp/bench-gate.json
 
 # Regenerate every figure of the paper at full fidelity (plus CSVs).
 figures:
@@ -89,6 +97,8 @@ serve-smoke:
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario
 	$(GO) test -fuzz=FuzzRankUnrank -fuzztime=30s ./internal/perm
+	$(GO) test -fuzz=FuzzAdjacentSwapCodec -fuzztime=30s ./internal/perm
+	$(GO) test -fuzz=FuzzValidatePrometheus -fuzztime=30s ./internal/telemetry
 
 cover:
 	$(GO) test -cover ./...

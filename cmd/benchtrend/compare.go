@@ -13,7 +13,14 @@ type comparison struct {
 	OldNs      float64
 	NewNs      float64
 	DeltaPct   float64
+	OldAllocs  int64
+	NewAllocs  int64
 	Regression bool
+	// AllocRegression flags ANY growth in allocs/op: steady-state
+	// allocation-freedom is a hard property (see docs/PERFORMANCE.md and
+	// TestHotPathZeroAlloc), so unlike ns/interval there is no noise
+	// threshold to hide behind.
+	AllocRegression bool
 }
 
 // loadReport reads one BENCH_*.json document.
@@ -33,45 +40,59 @@ func loadReport(path string) (Report, error) {
 	return rep, nil
 }
 
-// compareReports diffs per-protocol ns/interval between two reports. A
-// protocol regresses when its ns/interval grew by more than thresholdPct
-// percent. Protocols present in only one report are skipped — renames and
-// additions are not regressions.
+// compareReports diffs per-protocol ns/interval and allocs/op between two
+// reports. A protocol regresses when its ns/interval grew by more than
+// thresholdPct percent, or when its allocs/op grew at all. Protocols present
+// in only one report are skipped — renames and additions are not regressions.
 func compareReports(oldRep, newRep Report, thresholdPct float64) []comparison {
-	oldNs := make(map[string]float64, len(oldRep.Results))
+	oldBy := make(map[string]Result, len(oldRep.Results))
 	for _, r := range oldRep.Results {
-		oldNs[r.Protocol] = r.NsPerInterval
+		oldBy[r.Protocol] = r
 	}
 	var out []comparison
 	for _, r := range newRep.Results {
-		old, ok := oldNs[r.Protocol]
-		if !ok || old <= 0 {
+		old, ok := oldBy[r.Protocol]
+		if !ok || old.NsPerInterval <= 0 {
 			continue
 		}
-		delta := (r.NsPerInterval - old) / old * 100
+		delta := (r.NsPerInterval - old.NsPerInterval) / old.NsPerInterval * 100
 		out = append(out, comparison{
-			Protocol:   r.Protocol,
-			OldNs:      old,
-			NewNs:      r.NsPerInterval,
-			DeltaPct:   delta,
-			Regression: delta > thresholdPct,
+			Protocol:        r.Protocol,
+			OldNs:           old.NsPerInterval,
+			NewNs:           r.NsPerInterval,
+			DeltaPct:        delta,
+			OldAllocs:       old.AllocsPerOp,
+			NewAllocs:       r.AllocsPerOp,
+			Regression:      delta > thresholdPct,
+			AllocRegression: r.AllocsPerOp > old.AllocsPerOp,
 		})
 	}
 	return out
 }
 
-// writeComparison prints the diff table and returns the regression count.
+// writeComparison prints the diff table and returns the regression count
+// (time and allocation regressions combined; a protocol failing both counts
+// once).
 func writeComparison(w io.Writer, comps []comparison, thresholdPct float64) int {
-	fmt.Fprintf(w, "%-10s %14s %14s %8s\n", "protocol", "old ns/itv", "new ns/itv", "delta")
+	fmt.Fprintf(w, "%-10s %14s %14s %8s %12s\n",
+		"protocol", "old ns/itv", "new ns/itv", "delta", "allocs/op")
 	regressions := 0
 	for _, c := range comps {
 		verdict := ""
-		if c.Regression {
+		switch {
+		case c.Regression && c.AllocRegression:
+			verdict = fmt.Sprintf("  REGRESSION (>%g%% and allocs %d -> %d)",
+				thresholdPct, c.OldAllocs, c.NewAllocs)
+		case c.Regression:
 			verdict = fmt.Sprintf("  REGRESSION (>%g%%)", thresholdPct)
+		case c.AllocRegression:
+			verdict = fmt.Sprintf("  REGRESSION (allocs %d -> %d)", c.OldAllocs, c.NewAllocs)
+		}
+		if verdict != "" {
 			regressions++
 		}
-		fmt.Fprintf(w, "%-10s %14.0f %14.0f %+7.1f%%%s\n",
-			c.Protocol, c.OldNs, c.NewNs, c.DeltaPct, verdict)
+		fmt.Fprintf(w, "%-10s %14.0f %14.0f %+7.1f%% %5d -> %-4d%s\n",
+			c.Protocol, c.OldNs, c.NewNs, c.DeltaPct, c.OldAllocs, c.NewAllocs, verdict)
 	}
 	return regressions
 }
@@ -92,10 +113,10 @@ func runCompare(oldPath, newPath string, thresholdPct float64) error {
 		return fmt.Errorf("no protocols in common between %s and %s", oldPath, newPath)
 	}
 	if n := writeComparison(os.Stdout, comps, thresholdPct); n > 0 {
-		return fmt.Errorf("%d of %d protocols regressed more than %g%% ns/interval",
+		return fmt.Errorf("%d of %d protocols regressed (more than %g%% ns/interval, or any allocs/op growth)",
 			n, len(comps), thresholdPct)
 	}
-	fmt.Printf("no regressions beyond %g%% across %d protocols (%s -> %s)\n",
+	fmt.Printf("no regressions beyond %g%% ns/interval or any allocs/op across %d protocols (%s -> %s)\n",
 		thresholdPct, len(comps), oldRep.Date, newRep.Date)
 	return nil
 }

@@ -46,6 +46,40 @@ func TestCompareReportsSkipsMismatchedProtocols(t *testing.T) {
 	}
 }
 
+func TestCompareReportsFlagsAnyAllocGrowth(t *testing.T) {
+	mk := func(ns float64, allocs int64) Report {
+		return Report{Date: "2026-01-01", Results: []Result{
+			{Protocol: "dbdp", NsPerInterval: ns, AllocsPerOp: allocs},
+		}}
+	}
+	// Time within threshold but a single new allocation: regression.
+	comps := compareReports(mk(1000, 0), mk(1000, 1), 10)
+	if !comps[0].AllocRegression {
+		t.Error("allocs 0 -> 1 not flagged")
+	}
+	if comps[0].Regression {
+		t.Error("time regression flagged without ns growth")
+	}
+	var b strings.Builder
+	if n := writeComparison(&b, comps, 10); n != 1 {
+		t.Errorf("got %d regressions, want 1: %s", n, b.String())
+	}
+	if !strings.Contains(b.String(), "allocs 0 -> 1") {
+		t.Errorf("output missing alloc verdict:\n%s", b.String())
+	}
+	// Fewer allocations is an improvement, not a regression.
+	comps = compareReports(mk(1000, 5), mk(1000, 3), 10)
+	if comps[0].AllocRegression {
+		t.Error("allocs 5 -> 3 flagged as regression")
+	}
+	// Both dimensions regressing still count as one protocol.
+	comps = compareReports(mk(1000, 0), mk(2000, 4), 10)
+	b.Reset()
+	if n := writeComparison(&b, comps, 10); n != 1 {
+		t.Errorf("combined regression counted %d times, want 1", n)
+	}
+}
+
 func TestCompareReportsThresholdIsExclusive(t *testing.T) {
 	oldRep := report(map[string]float64{"dbdp": 1000})
 	// Exactly at the threshold is not a regression; just past it is.

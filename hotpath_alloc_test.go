@@ -1,0 +1,118 @@
+package rtmac_test
+
+import (
+	"io"
+	"testing"
+
+	"rtmac"
+)
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation guard: the per-interval hot path must not allocate.
+//
+// Every layer under Simulation.Run — engine timer pool and slot clock, medium
+// transmission pool, contention bookkeeping, protocol scratch, debt vectors,
+// telemetry instrumentation — reuses memory once the first intervals have
+// sized the pools. This test pins that contract with testing.AllocsPerRun so
+// any future per-interval allocation fails CI instead of silently eroding
+// throughput. See docs/PERFORMANCE.md for the discipline these guards
+// enforce.
+// ---------------------------------------------------------------------------
+
+// newHotPathSim builds the control scenario used by the BenchmarkInterval*
+// benchmarks: 10 links, Bernoulli 0.78 arrivals, 99% delivery ratio.
+func newHotPathSim(t *testing.T, protocol rtmac.Protocol) *rtmac.Simulation {
+	t.Helper()
+	links := make([]rtmac.Link, 10)
+	for i := range links {
+		links[i] = rtmac.Link{
+			SuccessProb:   0.7,
+			Arrivals:      rtmac.MustBernoulliArrivals(0.78),
+			DeliveryRatio: 0.99,
+		}
+	}
+	s, err := rtmac.NewSimulation(rtmac.Config{
+		Seed:     1,
+		Profile:  rtmac.ControlProfile(),
+		Links:    links,
+		Protocol: protocol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// hotPathProtocols lists every policy whose interval loop must stay
+// allocation-free in steady state.
+func hotPathProtocols() map[string]rtmac.Protocol {
+	return map[string]rtmac.Protocol{
+		"dbdp":      rtmac.DBDP(),
+		"ldf":       rtmac.LDF(),
+		"fcsma":     rtmac.FCSMA(),
+		"framecsma": rtmac.FrameCSMA(),
+		"tdma":      rtmac.TDMA(),
+	}
+}
+
+// TestHotPathZeroAlloc runs each protocol past its warm-up (the first
+// intervals size the timer, transmission, and scratch pools) and then demands
+// exactly zero allocations per simulated interval with telemetry events
+// disabled (no sinks attached — the default).
+func TestHotPathZeroAlloc(t *testing.T) {
+	const (
+		warmup = 200 // intervals to fill every pool and scratch buffer
+		runs   = 100 // intervals measured by AllocsPerRun
+	)
+	for name, protocol := range hotPathProtocols() {
+		t.Run(name, func(t *testing.T) {
+			s := newHotPathSim(t, protocol)
+			if err := s.Run(warmup); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(runs, func() {
+				if err := s.Run(1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: %.1f allocs per steady-state interval, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// TestHotPathAllocBoundWithTelemetry pins the documented allocation bound for
+// the telemetry-enabled path: with a JSONL event stream attached, the only
+// per-interval allocations are inside JSON encoding of the emitted events
+// (the instrumentation itself reuses scratch field maps — see
+// docs/PERFORMANCE.md). The bound is deliberately loose — it guards against
+// accidental per-event map or slice churn reappearing, not encoder detail.
+func TestHotPathAllocBoundWithTelemetry(t *testing.T) {
+	// Each control interval emits a bounded burst of events (interval,
+	// debt, swap, priority, plus one per transmission); JSON encoding costs
+	// a handful of allocations per event.
+	const maxAllocsPerInterval = 400
+	s := newHotPathSim(t, rtmac.DBDP())
+	stream := s.StreamEvents(io.Discard)
+	if err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := s.Run(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > maxAllocsPerInterval {
+		t.Errorf("telemetry-enabled interval allocates %.0f, want <= %d", allocs, maxAllocsPerInterval)
+	}
+	if allocs == 0 {
+		t.Error("telemetry stream emitted no allocations — is the stream attached?")
+	}
+	if stream.Count() == 0 {
+		t.Error("no events were streamed")
+	}
+	if err := stream.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

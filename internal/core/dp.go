@@ -77,14 +77,19 @@ type Protocol struct {
 	initial perm.Permutation
 
 	prio perm.Permutation // σ(k-1), carried across intervals
+	// inv is the maintained inverse of prio (priority c ↦ link at index c-1),
+	// giving O(1) LinkAtPriority lookups in the per-interval backoff walk.
+	inv []int
 
 	// Per-interval scratch, reused across intervals to keep the per-interval
 	// allocation count flat.
-	active    []pairState
-	backoffs  []int
-	xiRNGs    []*sim.RNG
-	fireFns   []func() bool
-	positions []int
+	active      []pairState
+	backoffs    []int
+	xiRNGs      []*sim.RNG
+	fireFns     []func() bool
+	dataDoneFns []func(delivered bool)
+	senseFns    []func(busy bool)
+	positions   []int
 	// swaps counts committed priority exchanges, for diagnostics.
 	swaps int64
 	// swapHook, when set, observes every swap decision (telemetry).
@@ -122,7 +127,28 @@ func New(n int, policy MuPolicy, opts ...Option) (*Protocol, error) {
 			p.pairs, n, max)
 	}
 	p.prio = p.initial.Clone()
+	p.inv = make([]int, n)
+	for link, pr := range p.prio {
+		p.inv[pr-1] = link
+	}
 	return p, nil
+}
+
+// linkAt is LinkAtPriority via the maintained inverse: O(1) instead of the
+// permutation's O(N) scan.
+func (p *Protocol) linkAt(pr int) int { return p.inv[pr-1] }
+
+// ensureInv (re)builds the inverse when it is missing or stale — only
+// possible for hand-assembled Protocol values in tests; New and the in-place
+// swap keep it in lockstep.
+func (p *Protocol) ensureInv() {
+	if len(p.inv) == len(p.prio) {
+		return
+	}
+	p.inv = make([]int, len(p.prio))
+	for link, pr := range p.prio {
+		p.inv[pr-1] = link
+	}
 }
 
 // NewDBDP builds the paper's DB-DP algorithm: DP with the Eq. 14 debt-based
@@ -145,6 +171,13 @@ func (p *Protocol) Name() string {
 
 // Priorities returns σ(k-1), the current priority assignment.
 func (p *Protocol) Priorities() perm.Permutation { return p.prio.Clone() }
+
+// CopyPriorities copies σ(k-1) into dst (reusing its capacity) and returns
+// it — the allocation-free snapshot path the network's per-interval event
+// stream uses.
+func (p *Protocol) CopyPriorities(dst perm.Permutation) perm.Permutation {
+	return append(dst[:0], p.prio...)
+}
 
 // Swaps returns the number of committed priority exchanges so far.
 func (p *Protocol) Swaps() int64 { return p.swaps }
@@ -176,9 +209,16 @@ func (p *Protocol) BeginInterval(ctx *mac.Context) {
 	// intervals) and reused every interval.
 	if p.fireFns == nil {
 		p.fireFns = make([]func() bool, n)
+		p.dataDoneFns = make([]func(delivered bool), n)
+		p.senseFns = make([]func(busy bool), n)
 		for link := 0; link < n; link++ {
 			link := link
 			p.fireFns[link] = func() bool { return p.fire(ctx, link) }
+			p.dataDoneFns[link] = func(delivered bool) {
+				p.reportOutcome(link, delivered)
+				p.continueChain(ctx, link)
+			}
+			p.senseFns[link] = func(busy bool) { p.applySense(link, busy) }
 		}
 	}
 	backoffs := p.computeBackoffs(n)
@@ -201,6 +241,7 @@ func (p *Protocol) BeginInterval(ctx *mac.Context) {
 // Remark 6 extension) and the candidates' coins (Step 3).
 func (p *Protocol) selectPairs(ctx *mac.Context) {
 	n := ctx.Links()
+	p.ensureInv()
 	// The common random seed shared by all devices (Step 1) is modelled by
 	// a single engine stream: every link observes the same C(k).
 	common := ctx.Eng.RNG("dp-common")
@@ -211,8 +252,8 @@ func (p *Protocol) selectPairs(ctx *mac.Context) {
 		p.positions = append(p.positions[:0], samplePairPositions(common, n, p.pairs)...)
 	}
 	for _, c := range p.positions {
-		down := p.prio.LinkAtPriority(c)
-		up := p.prio.LinkAtPriority(c + 1)
+		down := p.linkAt(c)
+		up := p.linkAt(c + 1)
 		ps := pairState{c: c, down: down, up: up, xiDown: -1, xiUp: -1}
 		// Individual coin tosses (Eq. 5) from per-link streams.
 		if p.xiRNG(ctx, down).Bernoulli(clampMu(p.policy.Mu(ctx, down))) {
@@ -284,6 +325,7 @@ attempt:
 // For a single pair at priority C this reduces exactly to Eq. 6, and the
 // assignment is injective, which makes the protocol collision-free.
 func (p *Protocol) computeBackoffs(n int) []int {
+	p.ensureInv()
 	if cap(p.backoffs) < n {
 		p.backoffs = make([]int, n)
 	}
@@ -317,7 +359,7 @@ func (p *Protocol) computeBackoffs(n int) []int {
 			pr += 2
 			continue
 		}
-		backoffs[p.prio.LinkAtPriority(pr)] = v
+		backoffs[p.linkAt(pr)] = v
 		v++
 		pr++
 	}
@@ -326,23 +368,38 @@ func (p *Protocol) computeBackoffs(n int) []int {
 
 // sensingHook returns the carrier-sensing callback a candidate installs for
 // the instant its backoff timer reaches one, or nil when the link's coin
-// makes sensing irrelevant.
+// makes sensing irrelevant. The callback itself is the link's prebuilt
+// senseFn; the pair it belongs to is looked up at sensing time (pair
+// positions are non-adjacent, so a link is in at most one pair).
 func (p *Protocol) sensingHook(link int) func(bool) {
+	for i := range p.active {
+		ps := &p.active[i]
+		if (ps.down == link && ps.xiDown == -1) || (ps.up == link && ps.xiUp == 1) {
+			return p.senseFns[link]
+		}
+	}
+	return nil
+}
+
+// applySense records a candidate's carrier-sensing observation at the
+// counter-one instant.
+func (p *Protocol) applySense(link int, busy bool) {
 	for i := range p.active {
 		ps := &p.active[i]
 		if ps.down == link && ps.xiDown == -1 {
 			// Eq. 7: a down-tending candidate moves down iff the channel is
 			// busy when its timer reaches one (it hears the up candidate).
-			return func(busy bool) { ps.downSensedBusy = busy }
+			ps.downSensedBusy = busy
+			return
 		}
 		if ps.up == link && ps.xiUp == 1 {
 			// Eq. 8: an up-tending candidate arms the swap iff the channel
 			// is idle when its timer reaches one (the down candidate is
 			// conspicuously absent from its keep-slot).
-			return func(busy bool) { ps.upSensedIdle = !busy }
+			ps.upSensedIdle = !busy
+			return
 		}
 	}
-	return nil
 }
 
 // fire is Step 6: when the timer expires the link transmits its buffered
@@ -356,10 +413,7 @@ func (p *Protocol) sensingHook(link int) func(bool) {
 func (p *Protocol) fire(ctx *mac.Context, link int) bool {
 	started := false
 	if ctx.Pending(link) > 0 {
-		started = ctx.TransmitData(link, func(delivered bool) {
-			p.reportOutcome(link, delivered)
-			p.continueChain(ctx, link)
-		})
+		started = ctx.TransmitData(link, p.dataDoneFns[link])
 		if !started && p.isCandidate(link) {
 			started = ctx.ForceEmptyFrame(link, nil)
 		}
@@ -374,10 +428,7 @@ func (p *Protocol) fire(ctx *mac.Context, link int) bool {
 
 func (p *Protocol) continueChain(ctx *mac.Context, link int) {
 	if ctx.Pending(link) > 0 {
-		ctx.TransmitData(link, func(delivered bool) {
-			p.reportOutcome(link, delivered)
-			p.continueChain(ctx, link)
-		})
+		ctx.TransmitData(link, p.dataDoneFns[link])
 	}
 }
 
@@ -423,7 +474,12 @@ func (p *Protocol) EndInterval(ctx *mac.Context) {
 				ps.c, ps.down, swapDown, ps.up, swapUp))
 		}
 		if swapDown {
-			p.prio = p.prio.SwapAtPriority(ps.c)
+			// In-place adjacent transposition (what SwapAtPriority does,
+			// minus the clone), with the inverse kept in lockstep.
+			p.prio[ps.down] = ps.c + 1
+			p.prio[ps.up] = ps.c
+			p.inv[ps.c-1] = ps.up
+			p.inv[ps.c] = ps.down
 			p.swaps++
 		}
 		if p.swapHook != nil {

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunWorkerCountInvariance pins cross-worker determinism: a figure sweep
+// must aggregate to byte-identical CSV whether its (point, protocol, seed)
+// jobs run sequentially or race across a worker pool. Every job derives its
+// RNG stream purely from its own seed and the reduce step is keyed, not
+// order-dependent, so the worker count can only change wall-clock time —
+// never results. A diff here means a job leaked state into a shared
+// aggregate or picked up scheduling-dependent randomness.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	fig, err := ByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) []byte {
+		opts := RunOptions{
+			Seeds:         2,
+			IntervalScale: 0.02,
+			BaseSeed:      7,
+			Workers:       workers,
+		}
+		res, err := fig.Run(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, res); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("Workers=1 and Workers=8 disagree:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			serial, parallel)
+	}
+}

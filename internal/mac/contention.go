@@ -42,12 +42,22 @@ type contentionEntry struct {
 // Entries live in a link-indexed array (links are dense small integers), so
 // every boundary walks them in deterministic link order with no allocation.
 type Contention struct {
-	eng      *sim.Engine
-	med      *medium.Medium
-	slot     sim.Time
-	entries  []contentionEntry // indexed by link; active flag marks presence
-	active   int
-	boundary *sim.Timer
+	eng     *sim.Engine
+	med     *medium.Medium
+	slot    sim.Time
+	entries []contentionEntry // indexed by link; active flag marks presence
+	active  int
+	// Slot-skipping state. Boundaries where nothing can fire or sense are
+	// pure counter decrements, so the clock is armed directly at the next
+	// interesting boundary and the skipped decrements are applied in bulk:
+	// base anchors the boundary grid (the last materialization instant),
+	// skip is the number of boundaries the armed target covers, and target
+	// is the armed instant (base + skip·slot). Counters are materialized —
+	// decremented by the boundaries that already elapsed — whenever the
+	// countdown freezes or an entry joins mid-grid.
+	base   sim.Time
+	skip   int
+	target sim.Time
 	// backoffHist, when set, observes every initial backoff counter —
 	// protocol-independent visibility into how much idle countdown each
 	// policy pays per interval.
@@ -76,6 +86,10 @@ func NewContention(eng *sim.Engine, med *medium.Medium, slot sim.Time) (*Content
 		fired:   make([]int, 0, med.Links()),
 		sensed:  make([]int, 0, med.Links()),
 	}
+	// The slot boundary rides the engine's out-of-heap slot clock: one
+	// recurring timer re-armed every idle slot would otherwise dominate heap
+	// traffic (and allocate a method-value closure per arm).
+	eng.SetClockFunc(c.onBoundary)
 	med.Subscribe(c)
 	return c, nil
 }
@@ -103,6 +117,9 @@ func (c *Contention) Add(link, counter int, contender Contender) {
 	if contender.Fire == nil {
 		panic(fmt.Sprintf("mac: link %d contender without Fire", link))
 	}
+	// Materialize boundaries that already elapsed before the entry joins, so
+	// the bulk decrement never back-applies them to it.
+	c.sync()
 	c.entries[link] = contentionEntry{counter: counter, active: true, contender: contender}
 	c.active++
 	if c.backoffHist != nil {
@@ -110,6 +127,18 @@ func (c *Contention) Add(link, counter int, contender Contender) {
 	}
 	if c.backoffObs != nil {
 		c.backoffObs(link, counter)
+	}
+	if c.eng.ClockArmed() {
+		// Adding an entry can only move the next interesting boundary
+		// earlier, and only the new entry can move it: retarget from its
+		// horizon alone instead of rescanning every entry.
+		if at := c.base + sim.Time(horizon(&c.entries[link]))*c.slot; at < c.target {
+			c.eng.DisarmClock()
+			c.skip = int((at - c.base) / c.slot)
+			c.target = at
+			c.eng.ArmClock(at)
+		}
+		return
 	}
 	c.arm()
 }
@@ -159,11 +188,13 @@ func (c *Contention) Clear() {
 func (c *Contention) Active() int { return c.active }
 
 // Counter returns the current backoff counter of a contending link, and
-// whether the link is contending at all.
+// whether the link is contending at all. Elapsed-but-unmaterialized grid
+// boundaries are accounted for, so the value matches a per-slot countdown.
 func (c *Contention) Counter(link int) (int, bool) {
 	if link < 0 || link >= len(c.entries) || !c.entries[link].active {
 		return 0, false
 	}
+	c.sync()
 	return c.entries[link].counter, true
 }
 
@@ -174,29 +205,118 @@ func (c *Contention) ChannelBusy(sim.Time) { c.disarm() }
 func (c *Contention) ChannelIdle(sim.Time) { c.arm() }
 
 func (c *Contention) arm() {
-	if c.boundary != nil || c.active == 0 || c.med.Busy() {
+	if c.active == 0 || c.med.Busy() {
 		return
 	}
-	c.boundary = c.eng.After(c.slot, c.onBoundary)
+	if c.eng.ClockArmed() {
+		// The entry set changed under an armed clock: keep the boundary grid
+		// anchored at base and retarget to the earliest interesting boundary.
+		c.sync()
+		d := c.nextInteresting()
+		at := c.base + sim.Time(d)*c.slot
+		if at != c.target {
+			c.eng.DisarmClock()
+			c.eng.ArmClock(at)
+		}
+		c.skip, c.target = d, at
+		return
+	}
+	now := c.eng.Now()
+	c.base = now
+	c.skip = c.nextInteresting()
+	c.target = now + sim.Time(c.skip)*c.slot
+	c.eng.ArmClock(c.target)
 }
 
-func (c *Contention) disarm() {
-	if c.boundary != nil {
-		c.eng.Cancel(c.boundary)
-		c.boundary = nil
+// sync materializes the grid boundaries that elapsed since base while the
+// clock is armed: each was a pure decrement (skipping guarantees no fire or
+// sense was due before the armed target), so applying them in bulk and
+// advancing base keeps every counter exactly where a per-slot countdown
+// would have left it.
+func (c *Contention) sync() {
+	if !c.eng.ClockArmed() {
+		return
 	}
+	if k := int((c.eng.Now() - c.base) / c.slot); k > 0 {
+		c.advance(k)
+		c.base += sim.Time(k) * c.slot
+		c.skip -= k
+	}
+}
+
+// disarm freezes the countdown, materializing elapsed boundaries first.
+func (c *Contention) disarm() {
+	c.sync()
+	c.eng.DisarmClock()
+}
+
+// advance applies k pure-decrement boundaries to every entry.
+func (c *Contention) advance(k int) {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.active && e.counter > 0 {
+			if e.counter -= k; e.counter < 0 {
+				e.counter = 0
+			}
+		}
+	}
+}
+
+// horizon returns how many grid boundaries ahead an entry's first observable
+// boundary lies: firing (counter reaching zero) or delivering its
+// carrier-sense callback (entering one with a live hook).
+func horizon(e *contentionEntry) int {
+	switch {
+	case e.counter <= 1:
+		return 1
+	case e.contender.ReachedOne != nil:
+		return e.counter - 1
+	default:
+		return e.counter
+	}
+}
+
+// nextInteresting returns the minimum horizon over all active entries.
+func (c *Contention) nextInteresting() int {
+	d := int(^uint(0) >> 1)
+	for i := range c.entries {
+		e := &c.entries[i]
+		if !e.active {
+			continue
+		}
+		if j := horizon(e); j < d {
+			d = j
+		}
+	}
+	return d
 }
 
 func (c *Contention) onBoundary() {
-	c.boundary = nil
-	for i := range c.entries {
-		// An entry that joined at counter zero while the channel was busy
-		// fires at the first post-idle boundary; it must not go negative.
-		if c.entries[i].active && c.entries[i].counter > 0 {
-			c.entries[i].counter--
+	// The clock fired at target = base + skip·slot: apply the covered
+	// decrements in one step, then classify. An entry that joined at counter
+	// zero while the channel was busy fires at the first post-idle boundary;
+	// it must not go negative.
+	s := c.skip
+	c.fired = c.fired[:0]
+	c.sensed = c.sensed[:0]
+	for link := range c.entries {
+		e := &c.entries[link]
+		if !e.active {
+			continue
+		}
+		if e.counter > 0 {
+			if e.counter -= s; e.counter < 0 {
+				e.counter = 0
+			}
+		}
+		switch e.counter {
+		case 0:
+			c.fired = append(c.fired, link)
+		case 1:
+			c.sensed = append(c.sensed, link)
 		}
 	}
-	c.processBoundary()
+	c.finishBoundary()
 }
 
 // processBoundary fires all entries at zero (simultaneously — overlapping
@@ -217,6 +337,12 @@ func (c *Contention) processBoundary() {
 			c.sensed = append(c.sensed, link)
 		}
 	}
+	c.finishBoundary()
+}
+
+// finishBoundary fires and senses the entries collected by onBoundary or
+// processBoundary, then re-arms the clock if the channel stayed idle.
+func (c *Contention) finishBoundary() {
 	started := 0
 	for _, link := range c.fired {
 		fire := c.entries[link].contender.Fire

@@ -30,20 +30,60 @@ type Context struct {
 	pending  []int
 	served   []int
 	empty    []bool // link has a priority-claiming empty frame queued
+
+	// dataCB/emptyCB are per-link medium callbacks built once at
+	// construction; dataDone/emptyDone are the continuation slots they
+	// forward to. The medium allows at most one in-flight transmission per
+	// link (Start panics otherwise), so one slot per link suffices, and
+	// Transmit* passes the prebuilt callback instead of allocating a closure
+	// per call.
+	dataCB    []func(medium.Outcome)
+	emptyCB   []func(medium.Outcome)
+	dataDone  []func(delivered bool)
+	emptyDone []func()
 }
 
 func newContext(eng *sim.Engine, med *medium.Medium, profile phy.Profile, ledger *debt.Ledger) *Context {
 	n := med.Links()
-	return &Context{
-		Eng:      eng,
-		Med:      med,
-		Profile:  profile,
-		Ledger:   ledger,
-		arrivals: make([]int, n),
-		pending:  make([]int, n),
-		served:   make([]int, n),
-		empty:    make([]bool, n),
+	c := &Context{
+		Eng:       eng,
+		Med:       med,
+		Profile:   profile,
+		Ledger:    ledger,
+		arrivals:  make([]int, n),
+		pending:   make([]int, n),
+		served:    make([]int, n),
+		empty:     make([]bool, n),
+		dataCB:    make([]func(medium.Outcome), n),
+		emptyCB:   make([]func(medium.Outcome), n),
+		dataDone:  make([]func(delivered bool), n),
+		emptyDone: make([]func(), n),
 	}
+	for i := 0; i < n; i++ {
+		link := i
+		c.dataCB[link] = func(o medium.Outcome) {
+			delivered := o == medium.Delivered
+			if delivered {
+				c.pending[link]--
+				c.served[link]++
+			}
+			// Clear the slot before invoking: the continuation may chain
+			// another TransmitData on this link, refilling it.
+			done := c.dataDone[link]
+			c.dataDone[link] = nil
+			if done != nil {
+				done(delivered)
+			}
+		}
+		c.emptyCB[link] = func(medium.Outcome) {
+			done := c.emptyDone[link]
+			c.emptyDone[link] = nil
+			if done != nil {
+				done()
+			}
+		}
+	}
+	return c
 }
 
 func (c *Context) beginInterval(k int64, start, end sim.Time, arrivals []int) {
@@ -112,16 +152,8 @@ func (c *Context) TransmitData(n int, onDone func(delivered bool)) bool {
 	if c.pending[n] <= 0 || !c.FitsData() {
 		return false
 	}
-	c.Med.Start(n, c.Profile.DataAirtime, false, func(o medium.Outcome) {
-		delivered := o == medium.Delivered
-		if delivered {
-			c.pending[n]--
-			c.served[n]++
-		}
-		if onDone != nil {
-			onDone(delivered)
-		}
-	})
+	c.dataDone[n] = onDone
+	c.Med.Start(n, c.Profile.DataAirtime, false, c.dataCB[n])
 	return true
 }
 
@@ -134,11 +166,8 @@ func (c *Context) TransmitEmpty(n int, onDone func()) bool {
 		return false
 	}
 	c.empty[n] = false
-	c.Med.Start(n, c.Profile.EmptyAirtime, true, func(medium.Outcome) {
-		if onDone != nil {
-			onDone()
-		}
-	})
+	c.emptyDone[n] = onDone
+	c.Med.Start(n, c.Profile.EmptyAirtime, true, c.emptyCB[n])
 	return true
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"rtmac/internal/mac"
+	"rtmac/internal/sim"
 )
 
 // Config sets the backoff window evolution.
@@ -40,6 +41,13 @@ func (c Config) Validate() error {
 type Protocol struct {
 	cfg Config
 	cw  []int // current window per link
+	// rng caches the backoff stream; fireFns/doneFns are per-link callbacks
+	// built once against the stable interval context, so entering contention
+	// and chaining retransmissions allocate nothing.
+	rng     *sim.RNG
+	ctx     *mac.Context
+	fireFns []func() bool
+	doneFns []func(delivered bool)
 }
 
 // New validates cfg and returns a DCF instance for n links.
@@ -63,6 +71,28 @@ func (p *Protocol) Name() string { return "dcf" }
 // BeginInterval implements mac.Protocol: every backlogged link joins the
 // slotted contention with a fresh uniform draw from its current window.
 func (p *Protocol) BeginInterval(ctx *mac.Context) {
+	if p.fireFns == nil {
+		n := ctx.Links()
+		p.rng = ctx.Eng.RNG("dcf")
+		p.fireFns = make([]func() bool, n)
+		p.doneFns = make([]func(delivered bool), n)
+		for i := 0; i < n; i++ {
+			link := i
+			p.fireFns[link] = func() bool { return p.fire(p.ctx, link) }
+			p.doneFns[link] = func(delivered bool) {
+				if delivered {
+					p.cw[link] = p.cfg.CWMin
+				} else if p.cw[link]*2 <= p.cfg.CWMax {
+					p.cw[link] *= 2
+				}
+				ctx := p.ctx
+				if ctx.Pending(link) > 0 && ctx.FitsData() {
+					p.enter(ctx, link)
+				}
+			}
+		}
+	}
+	p.ctx = ctx
 	for link := 0; link < ctx.Links(); link++ {
 		if ctx.Pending(link) > 0 {
 			p.enter(ctx, link)
@@ -78,10 +108,8 @@ func (p *Protocol) EndInterval(*mac.Context) {}
 
 // enter registers link with a fresh draw from [0, cw).
 func (p *Protocol) enter(ctx *mac.Context, link int) {
-	draw := ctx.Eng.RNG("dcf").IntN(p.cw[link])
-	ctx.Contention().Add(link, draw, mac.Contender{Fire: func() bool {
-		return p.fire(ctx, link)
-	}})
+	draw := p.rng.IntN(p.cw[link])
+	ctx.Contention().Add(link, draw, mac.Contender{Fire: p.fireFns[link]})
 }
 
 // fire transmits one packet; the outcome drives the window (double on
@@ -89,16 +117,7 @@ func (p *Protocol) enter(ctx *mac.Context, link int) {
 // are a missing ACK — reset on success), and the link re-enters contention
 // while it remains backlogged.
 func (p *Protocol) fire(ctx *mac.Context, link int) bool {
-	return ctx.TransmitData(link, func(delivered bool) {
-		if delivered {
-			p.cw[link] = p.cfg.CWMin
-		} else if p.cw[link]*2 <= p.cfg.CWMax {
-			p.cw[link] *= 2
-		}
-		if ctx.Pending(link) > 0 && ctx.FitsData() {
-			p.enter(ctx, link)
-		}
-	})
+	return ctx.TransmitData(link, p.doneFns[link])
 }
 
 // Window returns link's current contention window, for tests and reports.

@@ -88,6 +88,12 @@ type Protocol struct {
 	ctx        *mac.Context // non-nil only while an interval is running
 	roundTimer *sim.Timer
 	rounds     int64
+	// rng caches the protocol's backoff stream; winners/fireFn are the
+	// per-round scratch and the cached timer callback (at most one round is
+	// pending at a time — roundTimer guards — so one winners slice suffices).
+	rng     *sim.RNG
+	winners []int
+	fireFn  func()
 }
 
 // New validates cfg and returns the protocol.
@@ -109,6 +115,11 @@ func (p *Protocol) BeginInterval(ctx *mac.Context) {
 	if !p.subscribed {
 		ctx.Med.Subscribe(p)
 		p.subscribed = true
+		p.rng = ctx.Eng.RNG("fcsma")
+		p.fireFn = func() {
+			p.roundTimer = nil
+			p.fireRound()
+		}
 	}
 	p.ctx = ctx
 	p.startRound()
@@ -141,9 +152,9 @@ func (p *Protocol) startRound() {
 	if p.roundTimer != nil || !ctx.FitsData() {
 		return
 	}
-	rng := ctx.Eng.RNG("fcsma")
+	rng := p.rng
 	minDraw := -1
-	var winners []int
+	p.winners = p.winners[:0]
 	for link := 0; link < ctx.Links(); link++ {
 		if ctx.Pending(link) == 0 {
 			continue
@@ -153,27 +164,36 @@ func (p *Protocol) startRound() {
 		switch {
 		case minDraw == -1 || draw < minDraw:
 			minDraw = draw
-			winners = winners[:0]
-			winners = append(winners, link)
+			p.winners = p.winners[:0]
+			p.winners = append(p.winners, link)
 		case draw == minDraw:
-			winners = append(winners, link)
+			p.winners = append(p.winners, link)
 		}
 	}
 	if minDraw == -1 {
 		return // nothing backlogged
 	}
 	p.rounds++
-	wait := sim.Time(minDraw) * ctx.Profile.Slot
-	p.roundTimer = ctx.Eng.After(wait, func() {
-		p.roundTimer = nil
-		for _, link := range winners {
-			// One packet per capture; the ChannelIdle after it triggers the
-			// next round. A link whose exchange no longer fits stays silent.
-			ctx.TransmitData(link, nil)
-		}
-		// If nothing fit, the channel stays idle and no further rounds can
-		// fit either: the interval effectively ends here.
-	})
+	if minDraw == 0 {
+		// A zero-slot backoff fires at this very instant, and nothing else
+		// can be pending now (rounds start only once the channel fully
+		// idles), so transmit directly instead of bouncing off the heap.
+		p.fireRound()
+		return
+	}
+	p.roundTimer = ctx.Eng.After(sim.Time(minDraw)*ctx.Profile.Slot, p.fireFn)
+}
+
+// fireRound transmits the round's minimum-draw links. Ties transmit
+// simultaneously and collide on the medium.
+func (p *Protocol) fireRound() {
+	for _, link := range p.winners {
+		// One packet per capture; the ChannelIdle after it triggers the next
+		// round. A link whose exchange no longer fits stays silent.
+		p.ctx.TransmitData(link, nil)
+	}
+	// If nothing fit, the channel stays idle and no further rounds can fit
+	// either: the interval effectively ends here.
 }
 
 // Interface compliance.

@@ -22,7 +22,6 @@ package framecsma
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"rtmac/internal/debt"
 	"rtmac/internal/mac"
@@ -63,6 +62,14 @@ type Protocol struct {
 	// timer is the pending control-phase or idle-slot event, cancelled at
 	// interval end so nothing leaks past the deadline.
 	timer *sim.Timer
+	// weights is the per-interval debt-weight scratch.
+	weights []float64
+	// ctx/serveFn/timerFn cache the interval context (stable across
+	// intervals) and the continuation callbacks, keeping the frame execution
+	// allocation-free.
+	ctx     *mac.Context
+	serveFn func(bool)
+	timerFn func()
 }
 
 // New validates cfg and returns the protocol.
@@ -83,26 +90,48 @@ func (p *Protocol) Name() string { return "frame-csma" }
 // the frame's transmission slots in debt order, then execute open-loop.
 func (p *Protocol) BeginInterval(ctx *mac.Context) {
 	n := ctx.Links()
+	if p.serveFn == nil {
+		p.serveFn = func(bool) { p.serveNext(p.ctx) }
+		p.timerFn = func() {
+			p.timer = nil
+			p.serveNext(p.ctx)
+		}
+	}
+	p.ctx = ctx
 	if cap(p.alloc) < n {
 		p.alloc = make([]int, n)
 		p.order = make([]int, n)
+		p.weights = make([]float64, n)
 	}
 	p.alloc = p.alloc[:n]
 	p.order = p.order[:n]
+	p.weights = p.weights[:n]
 
 	// Debt ordering, as the distributed contention of [23] would produce.
-	weights := make([]float64, n)
+	// Decreasing weight, ties broken by link ID: a strict total order, so
+	// this allocation-free insertion sort reproduces sort.SliceStable's
+	// result exactly.
+	weights := p.weights
 	for link := 0; link < n; link++ {
 		p.order[link] = link
 		weights[link] = ctx.Ledger.Weight(link, p.cfg.F, ctx.Med.SuccessProb(link))
 	}
-	sort.SliceStable(p.order, func(i, j int) bool {
-		wi, wj := weights[p.order[i]], weights[p.order[j]]
-		if wi != wj {
-			return wi > wj
+	order := p.order
+	for i := 1; i < n; i++ {
+		li := order[i]
+		wi := weights[li]
+		j := i - 1
+		for j >= 0 {
+			lj := order[j]
+			wj := weights[lj]
+			if wj > wi || (wj == wi && lj < li) {
+				break
+			}
+			order[j+1] = lj
+			j--
 		}
-		return p.order[i] < p.order[j]
-	})
+		order[j+1] = li
+	}
 
 	// Control phase consumes N mini-slots off the top of the frame.
 	controlTime := sim.Time(n) * p.cfg.ControlSlot
@@ -128,10 +157,7 @@ func (p *Protocol) BeginInterval(ctx *mac.Context) {
 	if controlTime >= ctx.Remaining() {
 		return
 	}
-	p.timer = ctx.Eng.After(controlTime, func() {
-		p.timer = nil
-		p.serveNext(ctx)
-	})
+	p.timer = ctx.Eng.After(controlTime, p.timerFn)
 }
 
 // serveNext walks the allocation open-loop: the next link in debt order with
@@ -145,7 +171,7 @@ func (p *Protocol) serveNext(ctx *mac.Context) {
 		}
 		p.alloc[link]--
 		if ctx.Pending(link) > 0 {
-			if !ctx.TransmitData(link, func(bool) { p.serveNext(ctx) }) {
+			if !ctx.TransmitData(link, p.serveFn) {
 				return // nothing fits before the deadline anymore
 			}
 			return
@@ -154,10 +180,7 @@ func (p *Protocol) serveNext(ctx *mac.Context) {
 		if ctx.Remaining() < ctx.Profile.DataAirtime {
 			return
 		}
-		p.timer = ctx.Eng.After(ctx.Profile.DataAirtime, func() {
-			p.timer = nil
-			p.serveNext(ctx)
-		})
+		p.timer = ctx.Eng.After(ctx.Profile.DataAirtime, p.timerFn)
 		return
 	}
 }

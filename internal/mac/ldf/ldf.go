@@ -10,7 +10,6 @@ package ldf
 
 import (
 	"fmt"
-	"sort"
 
 	"rtmac/internal/debt"
 	"rtmac/internal/mac"
@@ -22,6 +21,12 @@ type Scheduler struct {
 	// order is the priority order of the current interval: order[0] is
 	// served first.
 	order []int
+	// weights is the per-interval f(d⁺)p scratch, reused across intervals.
+	weights []float64
+	// ctx/serveFn cache the interval context (stable across intervals) and
+	// the chained-transmission callback, so serving allocates nothing.
+	ctx     *mac.Context
+	serveFn func(bool)
 }
 
 // New returns an ELDF scheduler with the given debt influence function.
@@ -54,24 +59,41 @@ func (s *Scheduler) Order() []int {
 // BeginInterval implements mac.Protocol: sort by f(d⁺)p and start serving.
 func (s *Scheduler) BeginInterval(ctx *mac.Context) {
 	n := ctx.Links()
+	if s.serveFn == nil {
+		s.serveFn = func(bool) { s.serveNext(s.ctx) }
+	}
+	s.ctx = ctx
 	if cap(s.order) < n {
 		s.order = make([]int, n)
+		s.weights = make([]float64, n)
 	}
 	s.order = s.order[:n]
-	weights := make([]float64, n)
+	s.weights = s.weights[:n]
+	weights := s.weights
 	for link := 0; link < n; link++ {
 		s.order[link] = link
 		weights[link] = ctx.Ledger.Weight(link, s.f, ctx.Med.SuccessProb(link))
 	}
 	// Decreasing weight; ties broken by link ID for determinism (Eq. 4
-	// allows any tie-break).
-	sort.SliceStable(s.order, func(i, j int) bool {
-		wi, wj := weights[s.order[i]], weights[s.order[j]]
-		if wi != wj {
-			return wi > wj
+	// allows any tie-break). The link-ID tie-break makes the order a strict
+	// total order, so this allocation-free insertion sort yields exactly the
+	// order sort.SliceStable used to.
+	order := s.order
+	for i := 1; i < n; i++ {
+		li := order[i]
+		wi := weights[li]
+		j := i - 1
+		for j >= 0 {
+			lj := order[j]
+			wj := weights[lj]
+			if wj > wi || (wj == wi && lj < li) {
+				break
+			}
+			order[j+1] = lj
+			j--
 		}
-		return s.order[i] < s.order[j]
-	})
+		order[j+1] = li
+	}
 	s.serveNext(ctx)
 }
 
@@ -81,7 +103,7 @@ func (s *Scheduler) BeginInterval(ctx *mac.Context) {
 func (s *Scheduler) serveNext(ctx *mac.Context) {
 	for _, link := range s.order {
 		if ctx.Pending(link) > 0 {
-			if ctx.TransmitData(link, func(bool) { s.serveNext(ctx) }) {
+			if ctx.TransmitData(link, s.serveFn) {
 				return
 			}
 			// The exchange no longer fits before the deadline; since all

@@ -72,19 +72,22 @@ type NetworkConfig struct {
 
 // Network runs one protocol over the interval structure of the paper.
 type Network struct {
-	cfg       NetworkConfig
-	eng       *sim.Engine
-	med       *medium.Medium
-	ledger    *debt.Ledger
-	ctx       *Context
-	cont      *Contention
-	arrivals  []int
-	intervals int64
-	reg       *telemetry.Registry
-	inst      *instrumentation
-	txTraced  bool
-	prio      priorityCarrier
-	check     func() error
+	cfg        NetworkConfig
+	eng        *sim.Engine
+	med        *medium.Medium
+	ledger     *debt.Ledger
+	ctx        *Context
+	cont       *Contention
+	arrivals   []int
+	intervals  int64
+	reg        *telemetry.Registry
+	inst       *instrumentation
+	txTraced   bool
+	prio       priorityCarrier
+	check      func() error
+	arrivalRNG *sim.RNG
+	// beginFn/endFn are the cached RunIntervals callbacks.
+	beginFn, endFn func(int) error
 }
 
 // NewNetwork validates the configuration and assembles the simulation.
@@ -185,11 +188,17 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		if sink == nil {
 			return
 		}
+		nw.inst.backoffFields["slots"] = float64(counter)
 		sink.Emit(telemetry.Event{
 			K: nw.ctx.K, At: nw.eng.Now(), Link: link, Kind: telemetry.EventBackoff,
-			Fields: map[string]float64{"slots": float64(counter)},
+			Fields: nw.inst.backoffFields,
 		})
 	})
+	nw.arrivalRNG = eng.RNG("arrivals")
+	// The interval callbacks handed to Engine.RunIntervals are built once so
+	// Run stays allocation-free per call.
+	nw.beginFn = func(int) error { return nw.beginInterval() }
+	nw.endFn = func(int) error { return nw.endInterval() }
 	if cfg.Events != nil {
 		nw.SetEventSink(cfg.Events)
 	}
@@ -225,13 +234,12 @@ func (nw *Network) SetEventSink(s telemetry.Sink) {
 			if tx.Empty {
 				empty = 1
 			}
+			nw.inst.txFields["dur"] = float64(tx.End - tx.Start)
+			nw.inst.txFields["empty"] = empty
+			nw.inst.txFields["outcome"] = float64(outcome)
 			sink.Emit(telemetry.Event{
 				K: nw.ctx.K, At: tx.End, Link: tx.Link, Kind: telemetry.EventTx,
-				Fields: map[string]float64{
-					"dur":     float64(tx.End - tx.Start),
-					"empty":   empty,
-					"outcome": float64(outcome),
-				},
+				Fields: nw.inst.txFields,
 			})
 		})
 	}
@@ -257,48 +265,58 @@ func (nw *Network) Contention() *Contention { return nw.cont }
 func (nw *Network) Intervals() int64 { return nw.intervals }
 
 // Run simulates the given number of additional intervals. It can be called
-// repeatedly to continue the same simulation.
+// repeatedly to continue the same simulation. The interval loop itself is
+// the engine's batched RunIntervals advance; Run stays allocation-free per
+// call so benchmark and hot-loop callers can invoke it per interval.
 func (nw *Network) Run(intervals int) error {
 	if intervals < 0 {
 		return fmt.Errorf("mac: negative interval count %d", intervals)
 	}
 	wallStart := time.Now()
-	defer func() {
-		if elapsed := time.Since(wallStart).Seconds(); elapsed > 0 && intervals > 0 {
-			nw.inst.intervalsPerS.Set(float64(intervals) / elapsed)
-		}
-	}()
-	rng := nw.eng.RNG("arrivals")
-	for i := 0; i < intervals; i++ {
-		k := nw.intervals
-		start := sim.Time(k) * nw.cfg.Profile.Interval
-		end := start + nw.cfg.Profile.Interval
-		if nw.eng.Now() != start {
-			return fmt.Errorf("mac: interval %d starts at %v but clock is at %v",
-				k, start, nw.eng.Now())
-		}
-		nw.cfg.Arrivals.Sample(rng, nw.arrivals)
-		nw.ctx.beginInterval(k, start, end, nw.arrivals)
-		nw.cfg.Protocol.BeginInterval(nw.ctx)
-		nw.eng.RunUntil(end)
-		nw.cfg.Protocol.EndInterval(nw.ctx)
-		nw.cont.Clear()
-		if pending := nw.eng.Pending(); pending != 0 {
-			return fmt.Errorf("mac: protocol %s leaked %d events past interval %d",
-				nw.cfg.Protocol.Name(), pending, k)
-		}
-		if err := nw.ledger.EndInterval(nw.ctx.served); err != nil {
-			return err
-		}
-		for _, obs := range nw.cfg.Observers {
-			obs.ObserveInterval(k, nw.arrivals, nw.ctx.served)
-		}
-		nw.inst.endInterval(nw, k, end)
-		nw.intervals++
-		if nw.check != nil {
-			if err := nw.check(); err != nil {
-				return fmt.Errorf("mac: interval %d: %w", k, err)
-			}
+	err := nw.eng.RunIntervals(nw.cfg.Profile.Interval, intervals, nw.beginFn, nw.endFn)
+	if elapsed := time.Since(wallStart).Seconds(); elapsed > 0 && intervals > 0 {
+		nw.inst.intervalsPerS.Set(float64(intervals) / elapsed)
+	}
+	return err
+}
+
+// beginInterval opens interval k = nw.intervals: sample arrivals, reset the
+// context, hand control to the protocol.
+func (nw *Network) beginInterval() error {
+	k := nw.intervals
+	start := sim.Time(k) * nw.cfg.Profile.Interval
+	end := start + nw.cfg.Profile.Interval
+	if nw.eng.Now() != start {
+		return fmt.Errorf("mac: interval %d starts at %v but clock is at %v",
+			k, start, nw.eng.Now())
+	}
+	nw.cfg.Arrivals.Sample(nw.arrivalRNG, nw.arrivals)
+	nw.ctx.beginInterval(k, start, end, nw.arrivals)
+	nw.cfg.Protocol.BeginInterval(nw.ctx)
+	return nil
+}
+
+// endInterval closes the current interval after the engine drained its
+// events: protocol commit, leak check, ledger update, observers, telemetry.
+func (nw *Network) endInterval() error {
+	k := nw.intervals
+	nw.cfg.Protocol.EndInterval(nw.ctx)
+	nw.cont.Clear()
+	if pending := nw.eng.Pending(); pending != 0 {
+		return fmt.Errorf("mac: protocol %s leaked %d events past interval %d",
+			nw.cfg.Protocol.Name(), pending, k)
+	}
+	if err := nw.ledger.EndInterval(nw.ctx.served); err != nil {
+		return err
+	}
+	for _, obs := range nw.cfg.Observers {
+		obs.ObserveInterval(k, nw.arrivals, nw.ctx.served)
+	}
+	nw.inst.endInterval(nw, k, nw.ctx.End)
+	nw.intervals++
+	if nw.check != nil {
+		if err := nw.check(); err != nil {
+			return fmt.Errorf("mac: interval %d: %w", k, err)
 		}
 	}
 	return nil

@@ -24,6 +24,12 @@ type Protocol struct {
 	order []int
 	timer *sim.Timer
 	k     int64
+	// ctx/serveFn/timerFn cache the interval context (stable across
+	// intervals) and the two continuation callbacks, keeping the serving
+	// chain allocation-free.
+	ctx     *mac.Context
+	serveFn func(bool)
+	timerFn func()
 }
 
 // New returns a TDMA instance. rotate spreads remainder slots across links
@@ -39,6 +45,14 @@ func (p *Protocol) Name() string { return "tdma" }
 // and serve each link's share in order.
 func (p *Protocol) BeginInterval(ctx *mac.Context) {
 	n := ctx.Links()
+	if p.serveFn == nil {
+		p.serveFn = func(bool) { p.serveNext(p.ctx) }
+		p.timerFn = func() {
+			p.timer = nil
+			p.serveNext(p.ctx)
+		}
+	}
+	p.ctx = ctx
 	if cap(p.alloc) < n {
 		p.alloc = make([]int, n)
 		p.order = make([]int, n)
@@ -73,7 +87,7 @@ func (p *Protocol) serveNext(ctx *mac.Context) {
 		}
 		p.alloc[link]--
 		if ctx.Pending(link) > 0 {
-			if !ctx.TransmitData(link, func(bool) { p.serveNext(ctx) }) {
+			if !ctx.TransmitData(link, p.serveFn) {
 				return
 			}
 			return
@@ -81,10 +95,7 @@ func (p *Protocol) serveNext(ctx *mac.Context) {
 		if ctx.Remaining() < ctx.Profile.DataAirtime {
 			return
 		}
-		p.timer = ctx.Eng.After(ctx.Profile.DataAirtime, func() {
-			p.timer = nil
-			p.serveNext(ctx)
-		})
+		p.timer = ctx.Eng.After(ctx.Profile.DataAirtime, p.timerFn)
 		return
 	}
 }

@@ -28,6 +28,12 @@ type priorityCarrier interface {
 	Priorities() perm.Permutation
 }
 
+// priorityCopier lets the network snapshot σ into a reusable scratch slice
+// instead of paying Priorities' per-interval clone on the event hot path.
+type priorityCopier interface {
+	CopyPriorities(dst perm.Permutation) perm.Permutation
+}
+
 // debtHistogramBounds cover positive debts from "caught up" through the
 // pathological backlog regime; debts beyond 64 packets land in +Inf.
 var debtHistogramBounds = []float64{0, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 64}
@@ -62,6 +68,20 @@ type instrumentation struct {
 	// (built once; one snapshot is emitted per interval when a sink is
 	// attached and the protocol carries priorities).
 	prioKeys []string
+
+	// Scratch Fields maps, one per emission site, reused across events. Each
+	// site writes a fixed key set, so steady-state emission only overwrites
+	// values — no map growth, no per-event allocation. Safe because the Sink
+	// contract forbids retaining the Fields map beyond the Emit call.
+	txFields       map[string]float64
+	backoffFields  map[string]float64
+	debtFields     map[string]float64
+	swapFields     map[string]float64
+	intervalFields map[string]float64
+	prioFields     map[string]float64
+	// prioScratch is the reusable σ snapshot filled by priorityCopier
+	// protocols.
+	prioScratch perm.Permutation
 }
 
 func newInstrumentation(reg *telemetry.Registry) *instrumentation {
@@ -78,6 +98,12 @@ func newInstrumentation(reg *telemetry.Registry) *instrumentation {
 		intervalsPerS: reg.Gauge("rtmac_wallclock_intervals_per_second", "simulated intervals per wall-clock second over the last Run call"),
 		debtHist:      reg.Histogram("rtmac_debt_positive", "positive delivery debt per link per interval, packets", debtHistogramBounds),
 		backoffHist:   reg.Histogram("rtmac_backoff_slots", "initial backoff counters handed to the contention coordinator", backoffHistogramBounds),
+
+		txFields:       make(map[string]float64, 3),
+		backoffFields:  make(map[string]float64, 1),
+		debtFields:     make(map[string]float64, 3),
+		swapFields:     make(map[string]float64, 4),
+		intervalFields: make(map[string]float64, 3),
 	}
 }
 
@@ -100,13 +126,12 @@ func (in *instrumentation) observeDebts(k int64, at sim.Time, debts []float64) {
 		}
 	}
 	if in.sink != nil {
+		in.debtFields["max"] = maxDebt
+		in.debtFields["mean"] = sum / float64(len(debts))
+		in.debtFields["positive"] = float64(positive)
 		in.sink.Emit(telemetry.Event{
 			K: k, At: at, Link: -1, Kind: telemetry.EventDebt,
-			Fields: map[string]float64{
-				"max":      maxDebt,
-				"mean":     sum / float64(len(debts)),
-				"positive": float64(positive),
-			},
+			Fields: in.debtFields,
 		})
 	}
 }
@@ -121,14 +146,13 @@ func (in *instrumentation) observeSwap(k int64, at sim.Time, pos, down, up int, 
 		in.swapRejected.Inc()
 	}
 	if in.sink != nil {
+		in.swapFields["pos"] = float64(pos)
+		in.swapFields["down"] = float64(down)
+		in.swapFields["up"] = float64(up)
+		in.swapFields["accepted"] = acc
 		in.sink.Emit(telemetry.Event{
 			K: k, At: at, Link: -1, Kind: telemetry.EventSwap,
-			Fields: map[string]float64{
-				"pos":      float64(pos),
-				"down":     float64(down),
-				"up":       float64(up),
-				"accepted": acc,
-			},
+			Fields: in.swapFields,
 		})
 	}
 }
@@ -154,16 +178,22 @@ func (in *instrumentation) endInterval(nw *Network, k int64, end sim.Time) {
 			served += nw.ctx.Served(n)
 			pending += nw.ctx.Pending(n)
 		}
+		in.intervalFields["arrivals"] = float64(arrivals)
+		in.intervalFields["served"] = float64(served)
+		in.intervalFields["expired"] = float64(pending)
 		in.sink.Emit(telemetry.Event{
 			K: k, At: end, Link: -1, Kind: telemetry.EventInterval,
-			Fields: map[string]float64{
-				"arrivals": float64(arrivals),
-				"served":   float64(served),
-				"expired":  float64(pending),
-			},
+			Fields: in.intervalFields,
 		})
 		if nw.prio != nil {
-			in.emitPriorities(nw.prio.Priorities(), k, end)
+			prio := in.prioScratch
+			if pc, ok := nw.prio.(priorityCopier); ok {
+				prio = pc.CopyPriorities(prio)
+				in.prioScratch = prio
+			} else {
+				prio = nw.prio.Priorities()
+			}
+			in.emitPriorities(prio, k, end)
 		}
 	}
 }
@@ -178,12 +208,12 @@ func (in *instrumentation) emitPriorities(prio perm.Permutation, k int64, at sim
 		for i := range in.prioKeys {
 			in.prioKeys[i] = fmt.Sprintf("l%d", i)
 		}
+		in.prioFields = make(map[string]float64, n)
 	}
-	fields := make(map[string]float64, n)
 	for link, pr := range prio {
-		fields[in.prioKeys[link]] = float64(pr)
+		in.prioFields[in.prioKeys[link]] = float64(pr)
 	}
 	in.sink.Emit(telemetry.Event{
-		K: k, At: at, Link: -1, Kind: telemetry.EventPriority, Fields: fields,
+		K: k, At: at, Link: -1, Kind: telemetry.EventPriority, Fields: in.prioFields,
 	})
 }

@@ -54,6 +54,10 @@ type Listener interface {
 }
 
 // Transmission is one in-flight or completed channel occupancy.
+//
+// The medium recycles Transmission objects through an internal free list; the
+// pointer returned by Start is only valid until the transmission ends. Trace
+// hooks receive a value copy, which they may keep.
 type Transmission struct {
 	Link     int
 	Empty    bool // priority-claiming frame with no payload
@@ -61,6 +65,10 @@ type Transmission struct {
 	End      sim.Time
 	collided bool
 	onDone   func(Outcome)
+	// finishFn is the object's own end-of-transmission event callback, built
+	// once per pooled object so Start schedules the finish without allocating
+	// a fresh closure per transmission.
+	finishFn func()
 }
 
 // Stats aggregates channel-level counters for reporting and tests. It is a
@@ -141,6 +149,7 @@ type Medium struct {
 	model     Model
 	rng       *sim.RNG
 	active    []*Transmission
+	txFree    []*Transmission
 	listeners []Listener
 	busySince sim.Time
 	inFinish  bool
@@ -302,12 +311,23 @@ func (m *Medium) Start(link int, duration sim.Time, empty bool, onDone func(Outc
 		}
 	}
 	now := m.eng.Now()
-	tx := &Transmission{
-		Link:   link,
-		Empty:  empty,
-		Start:  now,
-		End:    now + duration,
-		onDone: onDone,
+	var tx *Transmission
+	if n := len(m.txFree); n > 0 {
+		tx = m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		tx.Link, tx.Empty, tx.Start, tx.End = link, empty, now, now+duration
+		tx.collided, tx.onDone = false, onDone
+	} else {
+		tx = &Transmission{
+			Link:   link,
+			Empty:  empty,
+			Start:  now,
+			End:    now + duration,
+			onDone: onDone,
+		}
+		fin := tx
+		tx.finishFn = func() { m.finish(fin) }
 	}
 	// Any overlap destroys every transmission involved.
 	if len(m.active) > 0 {
@@ -330,7 +350,7 @@ func (m *Medium) Start(link int, duration sim.Time, empty bool, onDone func(Outc
 			l.ChannelBusy(now)
 		}
 	}
-	m.eng.ScheduleAt(tx.End, func() { m.finish(tx) })
+	m.eng.ScheduleAt(tx.End, tx.finishFn)
 	return tx
 }
 
@@ -360,6 +380,10 @@ func (m *Medium) finish(tx *Transmission) {
 			l.ChannelIdle(now)
 		}
 	}
+	// Recycle: nothing references tx past this point (Start's return value is
+	// dead once the transmission ends, and trace hooks got a value copy).
+	tx.onDone = nil
+	m.txFree = append(m.txFree, tx)
 }
 
 func (m *Medium) resolve(tx *Transmission) Outcome {

@@ -1,0 +1,51 @@
+package perm
+
+import "testing"
+
+// FuzzAdjacentSwapCodec round-trips the permutation algebra the DP protocol's
+// swap bookkeeping depends on: for any permutation (addressed by Lehmer rank)
+// and any adjacent priority pair, applying SwapAtPriority must yield a valid
+// permutation that AsAdjacentTransposition decodes back to exactly that swap,
+// applying the swap twice must restore the original, and Rank/Unrank must
+// stay mutually inverse throughout.
+func FuzzAdjacentSwapCodec(f *testing.F) {
+	f.Add(uint8(2), uint16(0), uint8(1))
+	f.Add(uint8(4), uint16(7), uint8(2))
+	f.Add(uint8(7), uint16(4039), uint8(6))
+	f.Fuzz(func(t *testing.T, nRaw uint8, rankRaw uint16, cRaw uint8) {
+		n := 2 + int(nRaw)%6 // [2, 7]: small enough to enumerate
+		rank := int(rankRaw) % Factorial(n)
+		c := 1 + int(cRaw)%(n-1) // [1, n-1]
+		p, err := Unrank(n, rank)
+		if err != nil {
+			t.Fatalf("Unrank(%d, %d): %v", n, rank, err)
+		}
+		if !p.Valid() {
+			t.Fatalf("Unrank(%d, %d) = %v is not a bijection", n, rank, p)
+		}
+		if got := p.Rank(); got != rank {
+			t.Fatalf("Rank(Unrank(%d, %d)) = %d", n, rank, got)
+		}
+		q := p.SwapAtPriority(c)
+		if !q.Valid() {
+			t.Fatalf("swap at %d broke bijectivity: %v -> %v", c, p, q)
+		}
+		swap, ok := p.AsAdjacentTransposition(q)
+		if !ok {
+			t.Fatalf("swap at %d not decoded as adjacent transposition: %v -> %v", c, p, q)
+		}
+		if swap.Priority != c {
+			t.Fatalf("decoded priority %d, want %d (%v -> %v)", swap.Priority, c, p, q)
+		}
+		if p[swap.Down] != c || p[swap.Up] != c+1 {
+			t.Fatalf("decoded links down=%d up=%d inconsistent with %v", swap.Down, swap.Up, p)
+		}
+		if !q.SwapAtPriority(c).Equal(p) {
+			t.Fatalf("swap at %d is not an involution: %v -> %v", c, p, q)
+		}
+		// A genuine swap is never decoded from the identity transition.
+		if _, ok := p.AsAdjacentTransposition(p); ok {
+			t.Fatalf("identity transition decoded as a swap for %v", p)
+		}
+	})
+}

@@ -88,7 +88,17 @@ type Histogram struct {
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (inclusive le)
+	// Bucket lookup is a linear scan rather than a binary search: bound
+	// slices are short (≈10 entries) and observations skew toward the low
+	// buckets, so the scan's predictable branches beat sort.SearchFloat64s
+	// on the simulation hot path.
+	i := len(h.bounds) // +Inf bucket unless a bound catches v
+	for j, ub := range h.bounds {
+		if v <= ub {
+			i = j
+			break
+		}
+	}
 	h.counts[i]++
 	h.sum += v
 	h.total++

@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzValidatePrometheus throws arbitrary text at the exposition validator.
+// The properties under fuzz: it never panics, it accepts everything the
+// repository's own exporter renders, and a payload it accepts reports at
+// least one sample (rejecting empty expositions is part of its contract).
+func FuzzValidatePrometheus(f *testing.F) {
+	// The exporter's own shapes, plus edge inputs the parser must survive.
+	f.Add("# TYPE rtmac_intervals_total counter\nrtmac_intervals_total 42\n")
+	f.Add("# TYPE g gauge\ng{link=\"0\"} 1.5 1700000000\n")
+	f.Add("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 2.5\nh_count 3\n")
+	f.Add("")
+	f.Add("# HELP loose comment\n")
+	f.Add("no_type_declared 1\n")
+	f.Add("# TYPE h histogram\nh_bucket{le=\"2\"} 5\nh_bucket{le=\"1\"} 9\n")
+	f.Add("m{label=unquoted} 1\n")
+	f.Add("m{broken 1\n")
+	f.Add("# TYPE m counter\nm NaN\n")
+	f.Fuzz(func(t *testing.T, payload string) {
+		n, err := ValidatePrometheus(strings.NewReader(payload))
+		if err == nil && n < 1 {
+			t.Fatalf("accepted payload with %d samples; contract demands >= 1:\n%s", n, payload)
+		}
+		if n < 0 {
+			t.Fatalf("negative sample count %d", n)
+		}
+	})
+}
