@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke serve-smoke fuzz cover clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke serve-smoke journeys-smoke fuzz cover clean
 
 all: build vet test
 
@@ -93,6 +93,17 @@ serve-smoke:
 		kill -0 $$(cat /tmp/rtmac-serve.pid) 2>/dev/null || break; sleep 0.2; done
 	! kill -0 $$(cat /tmp/rtmac-serve.pid) 2>/dev/null
 	grep -q 'run complete' /tmp/rtmac-serve.out
+
+# End-to-end check of the packet-journey tracer: record every packet of a
+# short DB-DP run, require the dump to be non-empty, structurally validate
+# every span with tracequery -check, and require the summary to account for
+# at least one journey.
+journeys-smoke:
+	$(GO) run ./cmd/rtmacsim -protocol dbdp -intervals 300 \
+		-journeys /tmp/rtmac-journeys.jsonl >/dev/null
+	test -s /tmp/rtmac-journeys.jsonl
+	$(GO) run ./cmd/tracequery -check /tmp/rtmac-journeys.jsonl
+	$(GO) run ./cmd/tracequery -by-link /tmp/rtmac-journeys.jsonl | grep -q '^ *all'
 
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario

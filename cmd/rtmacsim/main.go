@@ -54,10 +54,20 @@ func main() {
 		perfetto   = flag.String("perfetto", "", "export a Perfetto/Chrome trace_event JSON file of the run (open at ui.perfetto.dev)")
 		flight     = flag.String("flightrecorder", "", "dump the flight recorder (last 64 intervals of events) to this JSONL file, plus a .txt timeline alongside (implies -monitor)")
 		checkperf  = flag.String("checkperfetto", "", "validate a trace_event JSON file written by -perfetto, print its event count, and exit")
-		serve      = flag.String("serve", "", "serve the live observability plane (dashboard, /metrics, /api/progress, /events SSE) on this address (e.g. :8080); after the run the server stays up with the final state until interrupted")
+		serve      = flag.String("serve", "", "serve the live observability plane (dashboard, /metrics, /api/progress, /api/links, /events SSE) on this address (e.g. :8080); after the run the server stays up with the final state until interrupted")
 		checkmet   = flag.String("checkmetrics", "", "validate a Prometheus text-format metrics file (e.g. fetched from /metrics or written by -telemetry), print its sample count, and exit")
+		journeys   = flag.String("journeys", "", "stream sampled per-packet journeys (contention rounds, attempts, deadline-miss attribution) as JSONL to this file; query with cmd/tracequery")
+		jSample    = flag.Int("journey-sample", 1, "record one in every N packet journeys (1 records all)")
+		tracePath  = flag.String("trace", "", "write the packet transmission log (most recent -trace-cap records) to this file after the run")
+		traceCap   = flag.Int("trace-cap", 65536, "transmission records retained by -trace")
 	)
 	flag.Parse()
+	if *sampleTx < 1 {
+		fatal(fmt.Errorf("-sample-tx %d must be at least 1 (1 keeps every tx event)", *sampleTx))
+	}
+	if *jSample < 1 {
+		fatal(fmt.Errorf("-journey-sample %d must be at least 1 (1 records every packet)", *jSample))
+	}
 	if *checkev != "" {
 		if err := checkEvents(*checkev); err != nil {
 			fatal(err)
@@ -88,6 +98,10 @@ func main() {
 	perfettoPath = *perfetto
 	flightPath = *flight
 	serveAddr = *serve
+	journeysPath = *journeys
+	journeySample = *jSample
+	traceLogPath = *tracePath
+	traceLogCap = *traceCap
 
 	if *configPath != "" {
 		cfg, net, configIntervals, err := scenario.LoadAnyFile(*configPath)
@@ -138,6 +152,10 @@ var (
 	perfettoPath   string
 	flightPath     string
 	serveAddr      string
+	journeysPath   string
+	journeySample  int
+	traceLogPath   string
+	traceLogCap    int
 	topo           *topology.Network
 )
 
@@ -147,8 +165,23 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		fatal(err)
 	}
 	var tr *rtmac.Trace
-	if showTimeline {
-		if tr, err = sim.EnableTrace(4096); err != nil {
+	if showTimeline || traceLogPath != "" {
+		capacity := traceLogCap
+		if traceLogPath == "" || (showTimeline && capacity < 4096) {
+			capacity = 4096
+		}
+		if tr, err = sim.EnableTrace(capacity); err != nil {
+			fatal(err)
+		}
+	}
+	var jt *rtmac.Journeys
+	var journeysFile *os.File
+	if journeysPath != "" {
+		journeysFile, err = os.Create(journeysPath)
+		if err != nil {
+			fatal(err)
+		}
+		if jt, err = sim.EnableJourneys(journeysFile, journeySample); err != nil {
 			fatal(err)
 		}
 	}
@@ -238,6 +271,32 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		}
 		fmt.Printf("perfetto trace: %d events -> %s\n", trace.Count(), perfettoPath)
 	}
+	if jt != nil {
+		if err := jt.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := journeysFile.Close(); err != nil {
+			fatal(err)
+		}
+		agg := jt.Attribution()
+		fmt.Printf("journeys: %d of %d packets recorded -> %s\n", jt.Count(), jt.Seen(), journeysPath)
+		fmt.Printf("  delivered %d | expired-in-queue %d | lost-to-channel %d | lost-to-collision %d | never-won-contention %d\n",
+			agg.Delivered, agg.ExpiredInQueue, agg.LostToChannel, agg.LostToCollision, agg.NeverWon)
+	}
+	if traceLogPath != "" {
+		f, err := os.Create(traceLogPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteLog(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d transmissions observed; log -> %s\n", tr.Total(), traceLogPath)
+	}
 	if mon != nil {
 		dumpFlightRecorder(mon)
 		reportViolations(mon)
@@ -294,7 +353,7 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		fmt.Printf("delivery delay over %d packets: mean %v, p50 %v, p95 %v, p99 %v, max %v\n",
 			dl.Count(), dl.Mean(), p50, p95, p99, dl.Max())
 	}
-	if tr != nil && intervals > 0 {
+	if showTimeline && tr != nil && intervals > 0 {
 		fmt.Println()
 		if err := tr.RenderInterval(os.Stdout, int64(intervals-1), 100); err != nil {
 			fatal(err)

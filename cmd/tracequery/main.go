@@ -1,0 +1,31 @@
+// Command tracequery filters, aggregates and pretty-prints packet-journey
+// streams recorded by `rtmacsim -journeys` (or Simulation.EnableJourneys):
+// per-cause deadline-miss attribution tables, per-link breakdowns, delivery
+// delay percentiles, and human-readable journey listings.
+//
+// Usage:
+//
+//	tracequery journeys.jsonl              # attribution summary + delay percentiles
+//	tracequery -by-link journeys.jsonl     # per-link attribution table
+//	tracequery -cause lost-to-collision -print 5 journeys.jsonl
+//	tracequery -link 3 journeys.jsonl      # one link only
+//	tracequery -check journeys.jsonl       # validate every span; exit 1 on malformed
+//	rtmacsim -journeys /dev/stdout ... | tracequery -check -
+//
+// Decoding parallelizes across -workers goroutines sharded by line; results
+// are merged in input order, so the output is byte-identical for any worker
+// count.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracequery:", err)
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,61 @@
+package journey
+
+// DebtPoint is one interval's entry in a link's debt timeline: the signed
+// debt d_n(k) after the interval's Eq. 1 update, the interval's transmission
+// outcomes on the link (wins/losses/collisions), and whether a committed
+// priority swap moved the link up or down at this interval's end.
+type DebtPoint struct {
+	K         int64   `json:"k"`
+	Debt      float64 `json:"debt"`
+	Delivered int     `json:"delivered"`
+	Lost      int     `json:"lost"`
+	Collided  int     `json:"collided"`
+	SwapUp    bool    `json:"swap_up,omitempty"`
+	SwapDown  bool    `json:"swap_down,omitempty"`
+}
+
+// PositiveDebt returns d⁺ = max{0, Debt}, the quantity the paper's policies
+// act on and the one the dashboard sparklines plot.
+func (p DebtPoint) PositiveDebt() float64 {
+	if p.Debt > 0 {
+		return p.Debt
+	}
+	return 0
+}
+
+// Timeline is a bounded ring of per-interval debt points for one link: the
+// most recent capacity intervals survive, so FCSMA's debt saturation and
+// DB-DP's recovery stay visible without unbounded memory.
+type Timeline struct {
+	ring []DebtPoint
+	next int
+	cap  int
+}
+
+func newTimeline(capacity int) Timeline {
+	return Timeline{cap: capacity}
+}
+
+func (t *Timeline) add(p DebtPoint) {
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, p)
+		return
+	}
+	t.ring[t.next] = p
+	t.next = (t.next + 1) % t.cap
+}
+
+// Points returns the retained points in chronological order, oldest first.
+// The returned slice is a copy, safe to hold across further recording.
+func (t *Timeline) Points() []DebtPoint {
+	out := make([]DebtPoint, 0, len(t.ring))
+	if len(t.ring) == t.cap && t.cap > 0 {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+		return out
+	}
+	return append(out, t.ring...)
+}
+
+// Len returns the number of retained points.
+func (t *Timeline) Len() int { return len(t.ring) }

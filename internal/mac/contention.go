@@ -65,6 +65,11 @@ type Contention struct {
 	// backoffObs, when set, additionally observes (link, counter) pairs; the
 	// network uses it to stream per-link backoff events.
 	backoffObs func(link, counter int)
+	// fireObs, when set, observes every counter-zero firing and whether the
+	// link actually started a transmission; senseObs mirrors each delivered
+	// carrier-sense callback. Both feed the packet-journey tracer.
+	fireObs  func(link int, started bool)
+	senseObs func(link int, busy bool)
 	// scratch reused by processBoundary.
 	fired, sensed []int
 }
@@ -149,6 +154,14 @@ func (c *Contention) SetBackoffHistogram(h *telemetry.Histogram) { c.backoffHist
 // SetBackoffObserver installs a per-link observer fed by every Add, called
 // with the link and its initial counter at the instant it joins contention.
 func (c *Contention) SetBackoffObserver(fn func(link, counter int)) { c.backoffObs = fn }
+
+// SetFireObserver installs an observer called whenever a link's counter
+// reaches zero, with whether the link put a frame on the air.
+func (c *Contention) SetFireObserver(fn func(link int, started bool)) { c.fireObs = fn }
+
+// SetSenseObserver installs an observer mirroring every delivered ReachedOne
+// carrier-sense callback.
+func (c *Contention) SetSenseObserver(fn func(link int, busy bool)) { c.senseObs = fn }
 
 // Settle processes entries that are already at zero or one at the current
 // instant (fires zeros, senses ones) and arms the slot clock. Protocols call
@@ -348,8 +361,12 @@ func (c *Contention) finishBoundary() {
 		fire := c.entries[link].contender.Fire
 		c.entries[link] = contentionEntry{}
 		c.active--
-		if fire() {
+		ok := fire()
+		if ok {
 			started++
+		}
+		if c.fireObs != nil {
+			c.fireObs(link, ok)
 		}
 	}
 	busy := started > 0
@@ -359,6 +376,9 @@ func (c *Contention) finishBoundary() {
 		if hook := c.entries[link].contender.ReachedOne; hook != nil {
 			c.entries[link].contender.ReachedOne = nil
 			hook(busy)
+			if c.senseObs != nil {
+				c.senseObs(link, busy)
+			}
 		}
 	}
 	if !busy {

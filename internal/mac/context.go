@@ -7,6 +7,7 @@ package mac
 
 import (
 	"rtmac/internal/debt"
+	"rtmac/internal/journey"
 	"rtmac/internal/medium"
 	"rtmac/internal/phy"
 	"rtmac/internal/sim"
@@ -41,6 +42,10 @@ type Context struct {
 	emptyCB   []func(medium.Outcome)
 	dataDone  []func(delivered bool)
 	emptyDone []func()
+
+	// jt, when set, receives contention rounds protocols run outside the
+	// shared coordinator (FCSMA's private per-round draws) via NoteRound.
+	jt *journey.Tracer
 }
 
 func newContext(eng *sim.Engine, med *medium.Medium, profile phy.Profile, ledger *debt.Ledger) *Context {
@@ -103,6 +108,15 @@ func (c *Context) Links() int { return len(c.pending) }
 // Contention returns the network's slotted-backoff coordinator. Entries a
 // protocol adds are cleared automatically at every interval end.
 func (c *Context) Contention() *Contention { return c.cont }
+
+// NoteRound reports one contention round a protocol ran outside the shared
+// coordinator — FCSMA's private per-round backoff draws — so the journey
+// tracer still sees the link competing. No-op unless journeys are enabled.
+func (c *Context) NoteRound(n, backoff int) {
+	if c.jt != nil {
+		c.jt.ObserveRound(n, backoff)
+	}
+}
 
 // Arrivals returns A_n(k) for link n.
 func (c *Context) Arrivals(n int) int { return c.arrivals[n] }

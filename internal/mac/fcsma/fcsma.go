@@ -161,6 +161,9 @@ func (p *Protocol) startRound() {
 		}
 		cw := p.cfg.Window(ctx.Ledger.PositiveDebt(link))
 		draw := rng.IntN(cw)
+		// FCSMA contends outside the shared coordinator, so its rounds reach
+		// the journey tracer through the context (no-op when disabled).
+		ctx.NoteRound(link, draw)
 		switch {
 		case minDraw == -1 || draw < minDraw:
 			minDraw = draw

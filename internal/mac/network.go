@@ -6,7 +6,9 @@ import (
 
 	"rtmac/internal/arrival"
 	"rtmac/internal/debt"
+	"rtmac/internal/journey"
 	"rtmac/internal/medium"
+	"rtmac/internal/perm"
 	"rtmac/internal/phy"
 	"rtmac/internal/sim"
 	"rtmac/internal/telemetry"
@@ -86,6 +88,14 @@ type Network struct {
 	prio       priorityCarrier
 	check      func() error
 	arrivalRNG *sim.RNG
+	// journeys, when set, is the packet-journey tracer; jTraced guards its
+	// one-time medium trace registration, jPrio is its reusable σ snapshot
+	// and debtFn the cached ledger method value (so the per-interval hand-off
+	// allocates nothing).
+	journeys *journey.Tracer
+	jTraced  bool
+	jPrio    perm.Permutation
+	debtFn   func(link int) float64
 	// beginFn/endFn are the cached RunIntervals callbacks.
 	beginFn, endFn func(int) error
 }
@@ -178,12 +188,20 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		nw.inst.observeDebts(k, nw.ctx.End, debts)
 	})
 	if carrier, ok := cfg.Protocol.(swapHookCarrier); ok {
-		carrier.SetSwapHook(nw.inst.observeSwap)
+		carrier.SetSwapHook(func(k int64, at sim.Time, pos, down, up int, accepted bool) {
+			nw.inst.observeSwap(k, at, pos, down, up, accepted)
+			if jt := nw.journeys; jt != nil {
+				jt.ObserveSwap(down, up, accepted)
+			}
+		})
 	}
 	if carrier, ok := cfg.Protocol.(priorityCarrier); ok {
 		nw.prio = carrier
 	}
 	cont.SetBackoffObserver(func(link, counter int) {
+		if jt := nw.journeys; jt != nil {
+			jt.ObserveRound(link, counter)
+		}
 		sink := nw.inst.sink
 		if sink == nil {
 			return
@@ -245,6 +263,52 @@ func (nw *Network) SetEventSink(s telemetry.Sink) {
 	}
 }
 
+// SetJourneyTracer attaches (or, with nil, detaches) the packet-journey
+// tracer. Call it before Run; intervals already simulated are not replayed.
+// With no tracer attached every hook stays a nil check, preserving the
+// allocation-free interval hot path.
+func (nw *Network) SetJourneyTracer(t *journey.Tracer) error {
+	if t != nil && t.Links() != nw.med.Links() {
+		return fmt.Errorf("mac: journey tracer covers %d links, network has %d",
+			t.Links(), nw.med.Links())
+	}
+	nw.journeys = t
+	nw.ctx.jt = t
+	if t == nil {
+		return nil
+	}
+	if nw.debtFn == nil {
+		nw.debtFn = nw.ledger.Debt
+	}
+	nw.cont.SetFireObserver(func(link int, started bool) {
+		if jt := nw.journeys; jt != nil {
+			jt.ObserveFire(link, started)
+		}
+	})
+	nw.cont.SetSenseObserver(func(link int, busy bool) {
+		if jt := nw.journeys; jt != nil {
+			jt.ObserveSense(link, busy)
+		}
+	})
+	if !nw.jTraced {
+		// Journeys ride the medium's trace hook, which runs before the
+		// context's delivery bookkeeping — so the link's served count at
+		// trace time is exactly the head-of-line packet index the
+		// transmission carried. Registered once; the closure reads the
+		// current tracer so replacing it needs no re-registration.
+		nw.jTraced = true
+		nw.med.AddTrace(func(tx medium.Transmission, outcome medium.Outcome) {
+			if jt := nw.journeys; jt != nil {
+				jt.ObserveTx(tx.Link, nw.ctx.served[tx.Link], tx.Start, tx.End, tx.Empty, outcome)
+			}
+		})
+	}
+	return nil
+}
+
+// JourneyTracer returns the attached packet-journey tracer, or nil.
+func (nw *Network) JourneyTracer() *journey.Tracer { return nw.journeys }
+
 // Links returns N.
 func (nw *Network) Links() int { return nw.med.Links() }
 
@@ -292,6 +356,21 @@ func (nw *Network) beginInterval() error {
 	}
 	nw.cfg.Arrivals.Sample(nw.arrivalRNG, nw.arrivals)
 	nw.ctx.beginInterval(k, start, end, nw.arrivals)
+	if jt := nw.journeys; jt != nil {
+		jt.BeginInterval(k, start, end, nw.arrivals)
+		if nw.prio != nil {
+			// σ at interval begin is the priority vector held *during* the
+			// interval (swaps commit at its end).
+			prio := nw.jPrio
+			if pc, ok := nw.prio.(priorityCopier); ok {
+				prio = pc.CopyPriorities(prio)
+				nw.jPrio = prio
+			} else {
+				prio = nw.prio.Priorities()
+			}
+			jt.SetPriorities(prio)
+		}
+	}
 	nw.cfg.Protocol.BeginInterval(nw.ctx)
 	return nil
 }
@@ -308,6 +387,12 @@ func (nw *Network) endInterval() error {
 	}
 	if err := nw.ledger.EndInterval(nw.ctx.served); err != nil {
 		return err
+	}
+	if jt := nw.journeys; jt != nil {
+		// After the ledger's Eq. 1 update, so timeline points carry d_n(k);
+		// before the interval event fires, so live /api/links readers see a
+		// board as fresh as the event stream.
+		jt.EndInterval(nw.ctx.served, nw.debtFn)
 	}
 	for _, obs := range nw.cfg.Observers {
 		obs.ObserveInterval(k, nw.arrivals, nw.ctx.served)

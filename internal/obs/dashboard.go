@@ -31,6 +31,8 @@ td, th { border: 1px solid #2c3440; padding: .25rem .6rem; text-align: left; }
  <span id="totaltext"></span></div>
 <p id="meta"></p>
 <table id="figures"><tr><th>figure</th><th>title</th><th>jobs</th><th>state</th></tr></table>
+<h2 id="linkshead" style="display:none">Links: miss attribution &amp; debt</h2>
+<table id="links" style="display:none"></table>
 <h2>Event stream</h2>
 <div id="events"></div>
 <script>
@@ -57,8 +59,43 @@ async function refresh() {
     document.getElementById('figures').innerHTML = rows.join('');
   } catch (e) { /* server going away; keep polling */ }
 }
+const SPARK = '▁▂▃▄▅▆▇█';
+function spark(points) {
+  if (!points || !points.length) return '';
+  const tail = points.slice(-60);
+  const vals = tail.map(p => Math.max(0, p.debt));
+  const max = Math.max(...vals, 1e-9);
+  return tail.map((p, i) => {
+    const ch = SPARK[Math.min(7, Math.floor(8 * vals[i] / max))];
+    return (p.swap_up || p.swap_down) ? '<b>' + ch + '</b>' : ch;
+  }).join('');
+}
+async function refreshLinks() {
+  try {
+    const r = await fetch('/api/links');
+    if (!r.ok) return;
+    const b = await r.json();
+    if (!b.enabled) return;
+    document.getElementById('linkshead').style.display = '';
+    const tbl = document.getElementById('links');
+    tbl.style.display = '';
+    const rows = ['<tr><th>link</th><th>req</th><th>delivered</th><th>expired</th>' +
+      '<th>channel</th><th>collide</th><th>starved</th><th>swaps ↑/↓</th><th>d⁺ timeline</th></tr>'];
+    for (const l of b.links || []) {
+      const a = l.attribution || {};
+      rows.push('<tr><td>' + l.link + '</td><td>' + l.required.toFixed(2) + '</td><td>' +
+        (a.delivered || 0) + '</td><td>' + (a.expired_in_queue || 0) + '</td><td>' +
+        (a.lost_to_channel || 0) + '</td><td>' + (a.lost_to_collision || 0) + '</td><td>' +
+        (a.never_won_contention || 0) + '</td><td>' + l.swaps_up + '/' + l.swaps_down +
+        '</td><td>' + spark(l.debt) + '</td></tr>');
+    }
+    tbl.innerHTML = rows.join('');
+  } catch (e) { /* no link board attached; keep polling */ }
+}
 refresh();
+refreshLinks();
 setInterval(refresh, 2000);
+setInterval(refreshLinks, 2000);
 const log = document.getElementById('events');
 const es = new EventSource('/events');
 es.onmessage = ev => {

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestLinksEndpointWithoutProvider(t *testing.T) {
+	_, srv := newTestPlane(t)
+	code, _ := get(t, srv.URL+"/api/links")
+	if code != http.StatusNotFound {
+		t.Fatalf("/api/links without provider: status %d, want 404", code)
+	}
+}
+
+func TestLinksEndpointServesProviderDocument(t *testing.T) {
+	p, srv := newTestPlane(t)
+	p.SetLinksProvider(func() any {
+		return map[string]any{
+			"enabled": true,
+			"links":   []map[string]any{{"link": 0, "swaps_up": 3}},
+		}
+	})
+	code, body := get(t, srv.URL+"/api/links")
+	if code != http.StatusOK {
+		t.Fatalf("/api/links status %d", code)
+	}
+	var doc struct {
+		Enabled bool `json:"enabled"`
+		Links   []struct {
+			Link    int   `json:"link"`
+			SwapsUp int64 `json:"swaps_up"`
+		} `json:"links"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if !doc.Enabled || len(doc.Links) != 1 || doc.Links[0].SwapsUp != 3 {
+		t.Fatalf("document mismatch: %+v", doc)
+	}
+}

@@ -29,7 +29,16 @@ type Plane struct {
 
 	srv *http.Server
 	ln  net.Listener
+	// links, when set, produces the /api/links document (per-link miss
+	// attribution and debt timelines). The provider must be safe to call
+	// concurrently with the simulation; obs stays decoupled from the journey
+	// package by treating the document as opaque JSON-marshalable data.
+	links func() any
 }
+
+// SetLinksProvider installs the /api/links document source. A nil provider
+// (or none) makes the endpoint answer 404.
+func (p *Plane) SetLinksProvider(fn func() any) { p.links = fn }
 
 // NewPlane builds a plane around reg (a fresh registry if nil) with a new
 // tracker and broker.
@@ -47,6 +56,7 @@ func (p *Plane) Handler() http.Handler {
 	mux.HandleFunc("/healthz", p.handleHealthz)
 	mux.HandleFunc("/metrics", p.handleMetrics)
 	mux.HandleFunc("/api/progress", p.handleProgress)
+	mux.HandleFunc("/api/links", p.handleLinks)
 	mux.HandleFunc("/events", p.handleEvents)
 	return mux
 }
@@ -107,6 +117,19 @@ func (p *Plane) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(p.Tracker.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (p *Plane) handleLinks(w http.ResponseWriter, r *http.Request) {
+	if p.links == nil {
+		http.Error(w, "no link board attached (run with journeys enabled)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p.links()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

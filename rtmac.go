@@ -42,6 +42,7 @@ import (
 	"fmt"
 
 	"rtmac/internal/arrival"
+	"rtmac/internal/journey"
 	"rtmac/internal/mac"
 	"rtmac/internal/medium"
 	"rtmac/internal/metrics"
@@ -127,6 +128,7 @@ type Simulation struct {
 	profileInterval sim.Time
 	events          *telemetry.JSONL
 	manifest        *telemetry.Manifest
+	journeys        *journey.Tracer
 	// sinks holds every attached event consumer (JSONL streams, the runtime
 	// monitor, flight recorder, Perfetto exporter) in attach order; the
 	// network sees them as one fan-out.

@@ -32,10 +32,60 @@ func (s *Simulation) ServeObservability(addr string, plannedIntervals int) (*Obs
 		plane.Tracker.SetPlannedIntervals(int64(plannedIntervals))
 	}
 	s.addSink(planeSink{plane})
+	// The provider reads s.journeys dynamically, so enabling journeys before
+	// or after serving both work; the tracer's accessors are mutex-guarded
+	// against the simulation goroutine.
+	plane.SetLinksProvider(func() any { return s.linkBoard() })
 	if err := plane.Start(addr); err != nil {
 		return nil, err
 	}
 	return &Observability{plane: plane}, nil
+}
+
+// LinkBoard is the /api/links document: per-link deadline-miss attribution,
+// swap counts and debt timelines, as recorded by the journey tracer.
+type LinkBoard struct {
+	// Enabled reports whether a journey tracer is attached; without one the
+	// board carries only the requirement vector.
+	Enabled bool `json:"enabled"`
+	// Sample is the tracer's packet sampling stride (1 = every packet).
+	Sample int         `json:"sample,omitempty"`
+	Total  Attribution `json:"total"`
+	Links  []LinkEntry `json:"links"`
+}
+
+// LinkEntry is one link's row on the board.
+type LinkEntry struct {
+	Link        int         `json:"link"`
+	Required    float64     `json:"required"`
+	Attribution Attribution `json:"attribution"`
+	SwapsUp     int64       `json:"swaps_up"`
+	SwapsDown   int64       `json:"swaps_down"`
+	// Debt is the link's retained debt timeline, oldest first.
+	Debt []DebtPoint `json:"debt"`
+}
+
+// linkBoard snapshots the journey tracer into the /api/links document. Safe
+// to call from HTTP handlers: it touches only the tracer's mutex-guarded
+// accessors and the immutable requirement vector, never live protocol state.
+func (s *Simulation) linkBoard() LinkBoard {
+	board := LinkBoard{Links: make([]LinkEntry, len(s.req))}
+	jt := s.journeys
+	if jt != nil {
+		board.Enabled = true
+		board.Sample = jt.SampleEvery()
+		board.Total = jt.Attribution()
+	}
+	for n := range board.Links {
+		e := LinkEntry{Link: n, Required: s.req[n]}
+		if jt != nil {
+			e.Attribution, _ = jt.LinkAttribution(n)
+			e.SwapsUp, e.SwapsDown, _ = jt.Swaps(n)
+			e.Debt, _ = jt.Timeline(n)
+		}
+		board.Links[n] = e
+	}
+	return board
 }
 
 // Addr returns the bound listen address.

@@ -1,0 +1,125 @@
+package rtmac_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rtmac"
+)
+
+func getLinkBoard(t *testing.T, addr string) (int, rtmac.LinkBoard) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/api/links", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var board rtmac.LinkBoard
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&board); err != nil {
+			t.Fatalf("/api/links invalid JSON: %v", err)
+		}
+	}
+	return resp.StatusCode, board
+}
+
+// TestServeLinksBoard drives the whole journey surface over HTTP: a live
+// simulation with journeys enabled serves per-link attribution and debt
+// timelines at /api/links, reconciling with the tracer, and the dashboard
+// carries the links table.
+func TestServeLinksBoard(t *testing.T) {
+	links := make([]rtmac.Link, 4)
+	for i := range links {
+		links[i] = rtmac.Link{
+			SuccessProb:   0.7,
+			Arrivals:      rtmac.MustBernoulliArrivals(0.6),
+			DeliveryRatio: 0.9,
+		}
+	}
+	sim, err := rtmac.NewSimulation(rtmac.Config{
+		Seed:     5,
+		Profile:  rtmac.ControlProfile(),
+		Links:    links,
+		Protocol: rtmac.DBDP(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsrv, err := sim.ServeObservability("127.0.0.1:0", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obsrv.Close()
+
+	// Before journeys are enabled the board answers, but disabled.
+	if code, board := getLinkBoard(t, obsrv.Addr()); code != http.StatusOK || board.Enabled {
+		t.Fatalf("pre-journeys board: status %d enabled %v", code, board.Enabled)
+	}
+
+	j, err := sim.EnableJourneys(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poll the board from a second goroutine while the run is live, so the
+	// race detector exercises handler-vs-simulation concurrency.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				getLinkBoard(t, obsrv.Addr())
+			}
+		}
+	}()
+	if err := sim.Run(150); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+
+	code, board := getLinkBoard(t, obsrv.Addr())
+	if code != http.StatusOK {
+		t.Fatalf("/api/links status %d", code)
+	}
+	if !board.Enabled || board.Sample != 1 || len(board.Links) != 4 {
+		t.Fatalf("board shape: %+v", board)
+	}
+	if !board.Total.Reconciles() || board.Total.Total != j.Seen() {
+		t.Fatalf("board total does not reconcile with tracer: %+v vs seen %d",
+			board.Total, j.Seen())
+	}
+	var merged rtmac.Attribution
+	for _, l := range board.Links {
+		if !l.Attribution.Reconciles() {
+			t.Fatalf("link %d attribution: %+v", l.Link, l.Attribution)
+		}
+		merged.Merge(l.Attribution)
+		if len(l.Debt) != 150 {
+			t.Fatalf("link %d holds %d debt points, want 150", l.Link, len(l.Debt))
+		}
+	}
+	if merged != board.Total {
+		t.Fatalf("per-link rows %+v do not sum to total %+v", merged, board.Total)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/", obsrv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(page), "api/links") {
+		t.Fatal("dashboard does not reference /api/links")
+	}
+}
