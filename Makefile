@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke serve-smoke journeys-smoke fuzz cover clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke serve-smoke journeys-smoke ledger-smoke fuzz cover clean
 
 all: build vet test
 
@@ -104,6 +104,26 @@ journeys-smoke:
 	test -s /tmp/rtmac-journeys.jsonl
 	$(GO) run ./cmd/tracequery -check /tmp/rtmac-journeys.jsonl
 	$(GO) run ./cmd/tracequery -by-link /tmp/rtmac-journeys.jsonl | grep -q '^ *all'
+
+# End-to-end check of the run ledger and regression sentinel. Two seeds are
+# recorded as two separate processes plus one combined two-seed run, the
+# per-seed records are merged with ledgerctl, and `ledgerctl equal` requires
+# the merge to carry byte-identical statistics versus the combined run — the
+# ledger's core fidelity promise. The combined-vs-merged diff must exit 0
+# (they are the same statistics), and a deliberately degraded rtmacsim run
+# (-p 0.45 against a 0.7 baseline) must trip the sentinel non-zero.
+ledger-smoke:
+	rm -rf /tmp/rtmac-ledger
+	$(GO) run ./cmd/figures -fig fig3 -scale 0.02 -quiet -seedlist 101 -ledger /tmp/rtmac-ledger >/dev/null
+	$(GO) run ./cmd/figures -fig fig3 -scale 0.02 -quiet -seedlist 202 -ledger /tmp/rtmac-ledger >/dev/null
+	$(GO) run ./cmd/figures -fig fig3 -scale 0.02 -quiet -seedlist 101,202 -ledger /tmp/rtmac-ledger >/dev/null
+	$(GO) run ./cmd/ledgerctl -dir /tmp/rtmac-ledger list
+	$(GO) run ./cmd/ledgerctl -dir /tmp/rtmac-ledger merge latest~2 latest~1
+	$(GO) run ./cmd/ledgerctl -dir /tmp/rtmac-ledger equal latest latest~1
+	$(GO) run ./cmd/ledgerctl -dir /tmp/rtmac-ledger diff latest~1 latest
+	$(GO) run ./cmd/rtmacsim -protocol dbdp -intervals 1000 -seed 7 -ledger /tmp/rtmac-ledger >/dev/null
+	$(GO) run ./cmd/rtmacsim -protocol dbdp -intervals 1000 -seed 7 -p 0.45 -ledger /tmp/rtmac-ledger >/dev/null
+	! $(GO) run ./cmd/ledgerctl -dir /tmp/rtmac-ledger diff latest~1 latest
 
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 )
 
 // comparison is the verdict for one protocol present in both reports.
@@ -95,6 +97,25 @@ func writeComparison(w io.Writer, comps []comparison, thresholdPct float64) int 
 			c.Protocol, c.OldNs, c.NewNs, c.DeltaPct, c.OldAllocs, c.NewAllocs, verdict)
 	}
 	return regressions
+}
+
+// newestBaseline picks the newest BENCH_*.json in the working directory —
+// the dated default names sort chronologically — skipping the report being
+// compared so a freshly written file never diffs against itself.
+func newestBaseline(exclude string) (string, error) {
+	names, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", err
+	}
+	excludeAbs, _ := filepath.Abs(exclude)
+	sort.Strings(names)
+	for i := len(names) - 1; i >= 0; i-- {
+		abs, _ := filepath.Abs(names[i])
+		if abs != excludeAbs {
+			return names[i], nil
+		}
+	}
+	return "", fmt.Errorf("no baseline BENCH_*.json found in the working directory (other than %s)", exclude)
 }
 
 // runCompare implements `benchtrend -compare old.json new.json`: exit status

@@ -145,3 +145,41 @@ func TestRunCompareEndToEnd(t *testing.T) {
 		t.Error("empty report accepted")
 	}
 }
+
+func TestNewestBaselineSkipsComparedReport(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(cwd) })
+
+	if _, err := newestBaseline("BENCH_2026-03-01.json"); err == nil {
+		t.Error("empty directory produced a baseline")
+	}
+	for _, name := range []string{"BENCH_2026-01-01.json", "BENCH_2026-02-01.json", "BENCH_2026-03-01.json"} {
+		if err := os.WriteFile(name, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Newest file overall is the one being compared; the baseline must be the
+	// newest of the others.
+	got, err := newestBaseline("BENCH_2026-03-01.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "BENCH_2026-02-01.json" {
+		t.Errorf("baseline %q, want BENCH_2026-02-01.json", got)
+	}
+	// A report outside the glob keeps the true newest as baseline.
+	got, err = newestBaseline(filepath.Join(dir, "new.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "BENCH_2026-03-01.json" {
+		t.Errorf("baseline %q, want BENCH_2026-03-01.json", got)
+	}
+}

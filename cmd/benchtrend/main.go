@@ -12,6 +12,8 @@
 //	benchtrend -compare old.json new.json   # diff two reports; exit 1 when
 //	                                        # any protocol's ns/interval grew
 //	                                        # more than -threshold percent
+//	benchtrend -compare new.json            # same, against the newest
+//	                                        # BENCH_*.json in the cwd
 //
 // Each entry reports ns per simulated interval, allocations, bytes and the
 // derived intervals-per-second on the paper's control scenario (10 links,
@@ -151,7 +153,7 @@ func main() {
 	var (
 		out       = flag.String("out", "", "output file, or directory for the dated default name (default BENCH_<date>.json)")
 		benchtime = flag.Duration("benchtime", time.Second, "measurement time per protocol")
-		compare   = flag.Bool("compare", false, "compare two BENCH_*.json files (old new) instead of measuring; exit 1 on regression")
+		compare   = flag.Bool("compare", false, "compare BENCH_*.json files (old new, or just new against the newest committed baseline) instead of measuring; exit 1 on regression")
 		threshold = flag.Float64("threshold", 10, "with -compare, percent ns/interval growth that counts as a regression")
 	)
 	// testing.Init registers the test.* flags testing.Benchmark reads;
@@ -160,10 +162,24 @@ func main() {
 	flag.Parse()
 
 	if *compare {
-		if flag.NArg() != 2 {
-			fatal(fmt.Errorf("-compare wants exactly two arguments: old.json new.json"))
+		var oldPath, newPath string
+		switch flag.NArg() {
+		case 1:
+			// Single-argument form: the new report is given, the baseline is
+			// the newest BENCH_*.json in the working directory (the dated
+			// names sort chronologically), excluding the new report itself.
+			newPath = flag.Arg(0)
+			var err error
+			if oldPath, err = newestBaseline(newPath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("comparing against newest baseline %s\n", oldPath)
+		case 2:
+			oldPath, newPath = flag.Arg(0), flag.Arg(1)
+		default:
+			fatal(fmt.Errorf("-compare wants one argument (new.json, baseline auto-selected) or two (old.json new.json)"))
 		}
-		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+		if err := runCompare(oldPath, newPath, *threshold); err != nil {
 			fatal(err)
 		}
 		return

@@ -7,6 +7,7 @@
 //	figures -scale 0.1 -seeds 1  # quick low-fidelity pass
 //	figures -csv results         # also write results/<fig>.csv
 //	figures -serve :8080         # watch live progress at http://localhost:8080
+//	figures -ledger .ledger      # append aggregated points to the run ledger
 //
 // Each figure prints an aligned table and an ASCII chart; -csv writes the
 // raw points for external plotting.
@@ -17,24 +18,30 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"rtmac/internal/experiment"
+	"rtmac/internal/ledger"
 	"rtmac/internal/obs"
+	"rtmac/internal/telemetry"
 )
 
 func main() {
 	var (
-		figID    = flag.String("fig", "", "figure to regenerate (see -list); default: the paper's fig3..fig10")
-		scale    = flag.Float64("scale", 1.0, "interval-count scale factor (1 = paper fidelity)")
-		seeds    = flag.Int("seeds", 3, "independent replications per point")
-		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
-		quiet    = flag.Bool("quiet", false, "suppress per-point progress output")
-		list     = flag.Bool("list", false, "list available figure IDs and exit")
-		extended = flag.Bool("extended", false, "run the beyond-paper figures too")
-		htmlPath = flag.String("html", "", "write all regenerated figures into one self-contained HTML report")
-		monitor  = flag.Bool("monitor", true, "run the strict invariant monitor inside every simulation; a violation fails the figure")
-		serve    = flag.String("serve", "", "serve the live observability plane (dashboard, /metrics, /api/progress, /events SSE) on this address (e.g. :8080) while the sweep runs")
+		figID     = flag.String("fig", "", "figure to regenerate (see -list); default: the paper's fig3..fig10")
+		scale     = flag.Float64("scale", 1.0, "interval-count scale factor (1 = paper fidelity)")
+		seeds     = flag.Int("seeds", 3, "independent replications per point")
+		csvDir    = flag.String("csv", "", "directory to write per-figure CSV files into")
+		quiet     = flag.Bool("quiet", false, "suppress per-point progress output")
+		list      = flag.Bool("list", false, "list available figure IDs and exit")
+		extended  = flag.Bool("extended", false, "run the beyond-paper figures too")
+		htmlPath  = flag.String("html", "", "write all regenerated figures into one self-contained HTML report")
+		monitor   = flag.Bool("monitor", true, "run the strict invariant monitor inside every simulation; a violation fails the figure")
+		serve     = flag.String("serve", "", "serve the live observability plane (dashboard, /metrics, /api/progress, /events SSE) on this address (e.g. :8080) while the sweep runs")
+		ledgerDir = flag.String("ledger", "", "append this run's aggregated points to the run ledger in DIR (see ledgerctl)")
+		seedList  = flag.String("seedlist", "", "comma-separated exact replication seeds, overriding -seeds and the derived schedule (e.g. 101,202); lets separately recorded ledger runs merge into exactly one combined run")
 	)
 	flag.Parse()
 
@@ -62,8 +69,38 @@ func main() {
 		IntervalScale: *scale,
 		Monitor:       *monitor,
 	}
+	if *seedList != "" {
+		for _, part := range strings.Split(*seedList, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -seedlist entry %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			opts.SeedList = append(opts.SeedList, v)
+		}
+		opts.Seeds = len(opts.SeedList)
+	}
 	if !*quiet {
 		opts.Progress = os.Stderr
+	}
+	var (
+		recorder *ledger.Recorder
+		manifest *telemetry.Manifest
+	)
+	if *ledgerDir != "" {
+		recorder = ledger.NewRecorder()
+		opts.Recorder = recorder
+		manifest = telemetry.NewManifest("figures", opts.BaseSeed)
+		manifest.Config = map[string]string{
+			"seeds": fmt.Sprint(*seeds),
+			"scale": fmt.Sprint(*scale),
+		}
+		if *figID != "" {
+			manifest.Config["fig"] = *figID
+		}
+		if *seedList != "" {
+			manifest.Config["seedlist"] = *seedList
+		}
 	}
 	var plane *obs.Plane
 	if *serve != "" {
@@ -77,6 +114,20 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "observability: serving on http://%s (dashboard, /metrics, /api/progress, /events)\n",
 			plane.Addr())
+		if *ledgerDir != "" {
+			store, err := ledger.Open(*ledgerDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			plane.SetRunsProvider(func() any {
+				h, err := ledger.BuildHistory(store, 200)
+				if err != nil {
+					return &ledger.History{Enabled: true, Dir: store.Dir()}
+				}
+				return h
+			})
+		}
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -140,6 +191,33 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlPath)
+	}
+	if recorder != nil {
+		scenario := "figures"
+		switch {
+		case *figID != "":
+			scenario = *figID
+		case *extended:
+			scenario = "figures-extended"
+		}
+		manifest.Finish()
+		rec, err := recorder.Finalize("figures", scenario, manifest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		store, err := ledger.Open(*ledgerDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		id, err := store.Append(rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ledger: appended %s (%d points, %d seeds) to %s\n",
+			id[:12], len(rec.Points), len(rec.Seeds), *ledgerDir)
 	}
 	if plane != nil {
 		if err := plane.Close(); err != nil {

@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"rtmac"
+	"rtmac/internal/ledger"
+	"rtmac/internal/stats"
 	"rtmac/scenario"
 	"rtmac/topology"
 )
@@ -60,6 +62,7 @@ func main() {
 		jSample    = flag.Int("journey-sample", 1, "record one in every N packet journeys (1 records all)")
 		tracePath  = flag.String("trace", "", "write the packet transmission log (most recent -trace-cap records) to this file after the run")
 		traceCap   = flag.Int("trace-cap", 65536, "transmission records retained by -trace")
+		ledgerFlag = flag.String("ledger", "", "append the run's final metrics (with mergeable partials) to the run ledger in DIR; inspect with ledgerctl")
 	)
 	flag.Parse()
 	if *sampleTx < 1 {
@@ -102,6 +105,7 @@ func main() {
 	journeySample = *jSample
 	traceLogPath = *tracePath
 	traceLogCap = *traceCap
+	ledgerDir = *ledgerFlag
 
 	if *configPath != "" {
 		cfg, net, configIntervals, err := scenario.LoadAnyFile(*configPath)
@@ -156,6 +160,7 @@ var (
 	journeySample  int
 	traceLogPath   string
 	traceLogCap    int
+	ledgerDir      string
 	topo           *topology.Network
 )
 
@@ -188,6 +193,12 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 	var dl *rtmac.Delay
 	if showDelay {
 		if dl, err = sim.EnableDelayStats(200); err != nil {
+			fatal(err)
+		}
+	}
+	var dq *rtmac.DelayQuantiles
+	if ledgerDir != "" {
+		if dq, err = sim.EnableDelaySketch(); err != nil {
 			fatal(err)
 		}
 	}
@@ -228,6 +239,12 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		}
 		fmt.Printf("observability: serving on http://%s (dashboard, /metrics, /api/progress, /events)\n",
 			obsrv.Addr())
+		if ledgerDir != "" {
+			if err := obsrv.ServeRunLedger(ledgerDir); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("observability: run history from %s on /history and /api/runs\n", ledgerDir)
+		}
 	}
 	if cpuprofilePath != "" {
 		f, err := os.Create(cpuprofilePath)
@@ -353,6 +370,11 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		fmt.Printf("delivery delay over %d packets: mean %v, p50 %v, p95 %v, p99 %v, max %v\n",
 			dl.Count(), dl.Mean(), p50, p95, p99, dl.Max())
 	}
+	if ledgerDir != "" {
+		if err := appendLedger(sim, cfg, intervals, rep, dq); err != nil {
+			fatal(err)
+		}
+	}
 	if showTimeline && tr != nil && intervals > 0 {
 		fmt.Println()
 		if err := tr.RenderInterval(os.Stdout, int64(intervals-1), 100); err != nil {
@@ -401,6 +423,53 @@ func dumpTelemetry(sim *rtmac.Simulation, cfg rtmac.Config, intervals int) error
 		"links":     fmt.Sprint(len(cfg.Links)),
 	})
 	return write(telemetryPath+".manifest.json", func(f *os.File) error { return manifest.WriteJSON(f) })
+}
+
+// appendLedger reduces the finished run to one ledger record — total
+// deficiency (with delay quantiles and the P² sketch partial) plus per-link
+// delivery ratio and throughput, every point carrying its seed-tagged
+// replication — and appends it to the content-addressed store at ledgerDir.
+// A later `ledgerctl merge` of same-config different-seed records reproduces
+// the multi-seed aggregate exactly.
+func appendLedger(sim *rtmac.Simulation, cfg rtmac.Config, intervals int, rep rtmac.Report, dq *rtmac.DelayQuantiles) error {
+	rec := ledger.NewRecorder()
+	defRep := stats.Replication{Seed: cfg.Seed, Value: rep.TotalDeficiency}
+	var sketch *stats.SketchState
+	if dq != nil {
+		defRep.DelayP50 = dq.P50()
+		defRep.DelayP95 = dq.P95()
+		defRep.DelayP99 = dq.P99()
+		defRep.DelayCount = dq.Count()
+		st := dq.State()
+		sketch = &st
+	}
+	rec.RecordReplication("run", rep.Protocol, 0, "deficiency", ledger.BetterLower, defRep, sketch)
+	for i, l := range rep.Links {
+		rec.RecordReplication("run", rep.Protocol, float64(i), "delivery_ratio", ledger.BetterHigher,
+			stats.Replication{Seed: cfg.Seed, Value: l.DeliveryRatio}, nil)
+		rec.RecordReplication("run", rep.Protocol, float64(i), "throughput", ledger.BetterHigher,
+			stats.Replication{Seed: cfg.Seed, Value: l.Throughput}, nil)
+	}
+	manifest := sim.Manifest("rtmacsim", map[string]string{
+		"intervals": fmt.Sprint(intervals),
+		"links":     fmt.Sprint(len(cfg.Links)),
+	}).Raw()
+	scenario := fmt.Sprintf("%s %d links", rep.Protocol, len(cfg.Links))
+	record, err := rec.Finalize("run", scenario, manifest)
+	if err != nil {
+		return err
+	}
+	store, err := ledger.Open(ledgerDir)
+	if err != nil {
+		return err
+	}
+	id, err := store.Append(record)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ledger: appended %s (%d points, seed %d) to %s\n",
+		id[:12], len(record.Points), cfg.Seed, ledgerDir)
+	return nil
 }
 
 // dumpFlightRecorder writes the retained event window to flightPath (JSONL,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtmac/internal/metrics"
+	"rtmac/internal/stats"
 )
 
 // Delay exposes per-packet delivery-delay statistics for a simulation: how
@@ -51,3 +52,38 @@ func (d *Delay) DeadlineShare(frac float64) float64 { return d.d.DeadlineShare(f
 // Histogram returns the raw bucket counts; bucket i covers delays within
 // (i, i+1]·deadline/resolution.
 func (d *Delay) Histogram() []int64 { return d.d.Histogram() }
+
+// DelayQuantiles streams delivery delays through fixed-memory P² estimators,
+// yielding p50/p95/p99 without storing samples. Unlike EnableDelayStats it
+// carries a serializable partial (State), which is what run-ledger records
+// persist.
+type DelayQuantiles struct {
+	d *metrics.DelaySketch
+}
+
+// EnableDelaySketch starts streaming delivery delays through the quantile
+// sketch. Call before Run; it can coexist with EnableDelayStats and
+// EnableTrace.
+func (s *Simulation) EnableDelaySketch() (*DelayQuantiles, error) {
+	d, err := metrics.NewDelaySketch(s.profileInterval)
+	if err != nil {
+		return nil, fmt.Errorf("rtmac: %w", err)
+	}
+	d.Attach(s.nw.Medium())
+	return &DelayQuantiles{d: d}, nil
+}
+
+// Count returns how many deliveries were observed.
+func (d *DelayQuantiles) Count() int64 { return d.d.Count() }
+
+// P50 returns the estimated median delivery delay in microseconds.
+func (d *DelayQuantiles) P50() float64 { return d.d.P50() }
+
+// P95 returns the estimated 95th-percentile delay in microseconds.
+func (d *DelayQuantiles) P95() float64 { return d.d.P95() }
+
+// P99 returns the estimated 99th-percentile delay in microseconds.
+func (d *DelayQuantiles) P99() float64 { return d.d.P99() }
+
+// State exports the sketch's serializable partial for ledger records.
+func (d *DelayQuantiles) State() stats.SketchState { return d.d.State() }

@@ -18,6 +18,7 @@ import (
 
 	"rtmac/internal/arrival"
 	"rtmac/internal/core"
+	"rtmac/internal/ledger"
 	"rtmac/internal/mac"
 	"rtmac/internal/mac/dcf"
 	"rtmac/internal/mac/fcsma"
@@ -61,6 +62,15 @@ type RunOptions struct {
 	// BaseSeed offsets every replication seed, for independent repetitions
 	// of whole figures.
 	BaseSeed uint64
+	// SeedList, when non-empty, replaces the derived seed schedule with these
+	// exact replication seeds (and overrides Seeds with its length). The
+	// default schedule folds the global job index in, so two sweeps with
+	// different replication counts never reuse seeds — which also means a
+	// one-seed run's seed cannot be reproduced inside a two-seed run. An
+	// explicit list restores that control, letting separately recorded runs
+	// merge into exactly what one combined run would have produced (see the
+	// run ledger and `make ledger-smoke`).
+	SeedList []uint64
 	// Monitor runs the strict invariant monitor inside every simulation: a
 	// violation of the paper's structural guarantees fails the figure instead
 	// of silently skewing its curves.
@@ -74,6 +84,9 @@ type RunOptions struct {
 	// Events, when non-nil, receives every network's structured event stream
 	// (e.g. the observability plane's SSE broker).
 	Events telemetry.Sink
+	// Recorder, when non-nil, captures every aggregated figure point as a
+	// mergeable partial for the run ledger. A nil recorder costs nothing.
+	Recorder *ledger.Recorder
 }
 
 // syncWriter serializes writes so many workers can share one Progress
@@ -90,6 +103,9 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 }
 
 func (o RunOptions) fill() RunOptions {
+	if len(o.SeedList) > 0 {
+		o.Seeds = len(o.SeedList)
+	}
 	if o.Seeds <= 0 {
 		o.Seeds = 3
 	}
@@ -108,6 +124,18 @@ func (o RunOptions) fill() RunOptions {
 		}
 	}
 	return o
+}
+
+// seedFor returns replication s's simulation seed for the job at jobIndex:
+// the exact SeedList entry when one was given, otherwise the derived schedule
+// (BaseSeed plus a 7919 stride per replication, offset by the job index so no
+// two jobs of one sweep share a seed). Sweeps that key seeds on something
+// other than a job index pass 0, preserving their historical schedules.
+func (o RunOptions) seedFor(s, jobIndex int) uint64 {
+	if len(o.SeedList) > 0 {
+		return o.SeedList[s]
+	}
+	return o.BaseSeed + uint64(s)*7919 + uint64(jobIndex)
 }
 
 func (o RunOptions) scaled(native int) int {
@@ -389,7 +417,7 @@ func deficiencySweep(meta figureMeta, xs []float64, build func(x float64) (scena
 					x:    x,
 					spec: spec,
 					sc:   sc,
-					seed: opts.BaseSeed + uint64(s)*7919 + uint64(len(jobs)),
+					seed: opts.seedFor(s, len(jobs)),
 					reduce: func(seed uint64, out runOut) {
 						a.Add(out.replication(seed, out.col.TotalDeficiency()))
 					},
@@ -409,6 +437,7 @@ func deficiencySweep(meta figureMeta, xs []float64, build func(x float64) (scena
 				return nil, fmt.Errorf("experiment: no completed replications for %s at %g", spec.label, x)
 			}
 			s.addSummary(x, a.Summary(ciLevel))
+			opts.Recorder.RecordAggregate(meta.id, spec.label, x, "deficiency", ledger.BetterLower, a)
 		}
 		series = append(series, s)
 	}
@@ -439,7 +468,7 @@ func groupDeficiencySweep(meta figureMeta, xs []float64, build func(x float64) (
 					key:  key,
 					spec: spec,
 					sc:   sc,
-					seed: opts.BaseSeed + uint64(s)*7919 + uint64(len(jobs)),
+					seed: opts.seedFor(s, len(jobs)),
 					reduce: func(seed uint64, out runOut) {
 						for g, links := range groups {
 							byGroup[g].Add(out.replication(seed, out.col.GroupDeficiency(links)))
@@ -467,6 +496,7 @@ func groupDeficiencySweep(meta figureMeta, xs []float64, build func(x float64) (
 					return nil, fmt.Errorf("experiment: no completed replications for %s at %g", spec.label, x)
 				}
 				s.addSummary(x, a.Summary(ciLevel))
+				opts.Recorder.RecordAggregate(meta.id, s.Label, x, "deficiency", ledger.BetterLower, a)
 			}
 			series = append(series, s)
 		}

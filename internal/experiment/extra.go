@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtmac/internal/core"
+	"rtmac/internal/ledger"
 	"rtmac/internal/mac"
 	"rtmac/internal/phy"
 	"rtmac/internal/sim"
@@ -49,7 +50,7 @@ func (f *overheadFigure) Run(opts RunOptions) (*Result, error) {
 		}
 		var agg stats.PointAggregate
 		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.BaseSeed + uint64(s)*7919
+			seed := opts.seedFor(s, 0)
 			run, err := runOne(sc, dbdpSpec(), seed, opts)
 			if err != nil {
 				return nil, fmt.Errorf("experiment %s: %w", f.id, err)
@@ -60,6 +61,7 @@ func (f *overheadFigure) Run(opts RunOptions) (*Result, error) {
 			}
 		}
 		series.addSummary(x, agg.Summary(ciLevel))
+		opts.Recorder.RecordAggregate(f.id, series.Label, x, "deficiency", ledger.BetterLower, &agg)
 	}
 	return &Result{
 		ID:     f.id,

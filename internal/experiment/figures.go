@@ -323,7 +323,7 @@ func (priorityProfileFigure) Run(opts RunOptions) (*Result, error) {
 		spec := protocolSpec{label: "DP (frozen)", collisionFree: true, build: func(n int) (mac.Protocol, error) {
 			return core.New(n, core.PaperDebtGlauber(), core.WithFrozenPriorities())
 		}}
-		run, err := runOne(sc, spec, opts.BaseSeed+uint64(s)*7919, opts)
+		run, err := runOne(sc, spec, opts.seedFor(s, 0), opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiment fig6: %w", err)
 		}

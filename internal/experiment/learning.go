@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtmac/internal/core"
+	"rtmac/internal/ledger"
 	"rtmac/internal/mac"
 	"rtmac/internal/stats"
 )
@@ -55,7 +56,7 @@ func (learningFigure) Run(opts RunOptions) (*Result, error) {
 			}
 			var agg stats.PointAggregate
 			for seed := 0; seed < opts.Seeds; seed++ {
-				sv := opts.BaseSeed + uint64(seed)*7919
+				sv := opts.seedFor(seed, 0)
 				run, err := runOne(sc, spec, sv, opts)
 				if err != nil {
 					return nil, fmt.Errorf("experiment extra-learning: %w", err)
@@ -66,6 +67,7 @@ func (learningFigure) Run(opts RunOptions) (*Result, error) {
 				}
 			}
 			s.addSummary(x, agg.Summary(ciLevel))
+			opts.Recorder.RecordAggregate("extra-learning", spec.label, x, "deficiency", ledger.BetterLower, &agg)
 		}
 		out.Series = append(out.Series, s)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtmac/internal/arrival"
+	"rtmac/internal/ledger"
 	"rtmac/internal/mac"
 	"rtmac/internal/medium"
 	"rtmac/internal/metrics"
@@ -56,7 +57,7 @@ func (f *robustnessFigure) Run(opts RunOptions) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				sv := opts.BaseSeed + uint64(seed)*7919
+				sv := opts.seedFor(seed, 0)
 				cfg.Seed = sv
 				cfg.Protocol = prot
 				cfg.Observers = []mac.Observer{col}
@@ -80,6 +81,7 @@ func (f *robustnessFigure) Run(opts RunOptions) (*Result, error) {
 				}
 			}
 			s.addSummary(x, agg.Summary(ciLevel))
+			opts.Recorder.RecordAggregate(f.id, spec.label, x, "deficiency", ledger.BetterLower, &agg)
 		}
 		out.Series = append(out.Series, s)
 	}

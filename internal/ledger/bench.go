@@ -1,0 +1,77 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rtmac/internal/stats"
+	"rtmac/internal/telemetry"
+)
+
+// Import shim for the committed BENCH_*.json benchtrend reports, so the
+// performance trajectory lives in the same ledger as everything else. Each
+// protocol becomes one point (metric ns_per_interval, lower better) with a
+// single replication; `ledgerctl diff` then covers perf the same way it
+// covers delivery statistics.
+
+// benchReport mirrors cmd/benchtrend's Report document (kept separate so the
+// ledger does not import a main package).
+type benchReport struct {
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Benchtime string `json:"benchtime"`
+	Scenario  string `json:"scenario"`
+	Results   []struct {
+		Protocol        string  `json:"protocol"`
+		Iterations      int     `json:"iterations"`
+		NsPerInterval   float64 `json:"ns_per_interval"`
+		AllocsPerOp     int64   `json:"allocs_per_op"`
+		BytesPerOp      int64   `json:"bytes_per_op"`
+		IntervalsPerSec float64 `json:"intervals_per_sec"`
+	} `json:"results"`
+}
+
+// ImportBench converts one BENCH_*.json file into a ledger record. The
+// report date becomes the manifest start time, and allocs/op rides along as
+// a second point series so the sentinel's any-growth check has data.
+func ImportBench(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("ledger: %s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("ledger: %s: no benchmark results", path)
+	}
+	rec := NewRecorder()
+	for _, res := range rep.Results {
+		rec.RecordReplication("bench", res.Protocol, 0, "ns_per_interval", BetterLower,
+			stats.Replication{Value: res.NsPerInterval}, nil)
+		rec.RecordReplication("bench", res.Protocol, 0, "allocs_per_op", BetterLower,
+			stats.Replication{Value: float64(res.AllocsPerOp)}, nil)
+	}
+	m := &telemetry.Manifest{
+		Tool:      "benchtrend",
+		GoVersion: rep.GoVersion,
+		Config: map[string]string{
+			"source":    filepath.Base(path),
+			"goos":      rep.GOOS,
+			"goarch":    rep.GOARCH,
+			"num_cpu":   fmt.Sprint(rep.NumCPU),
+			"benchtime": rep.Benchtime,
+		},
+	}
+	if t, err := time.Parse("2006-01-02", rep.Date); err == nil {
+		m.Started = t.UTC()
+	}
+	return rec.Finalize("bench", rep.Scenario, m)
+}

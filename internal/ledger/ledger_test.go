@@ -1,0 +1,392 @@
+package ledger
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtmac/internal/stats"
+	"rtmac/internal/telemetry"
+)
+
+// testRecord builds a small valid record: one figure with two series over
+// three x values, `seeds` replications per point drawn from a deterministic
+// stream offset by `shift` (so different shifts produce different metrics).
+func testRecord(t *testing.T, seeds []uint64, shift float64) *Record {
+	t.Helper()
+	rec := NewRecorder()
+	for _, series := range []string{"DB-DP", "LDF"} {
+		for _, x := range []float64{0.5, 0.6, 0.7} {
+			agg := &stats.PointAggregate{}
+			for _, seed := range seeds {
+				rng := rand.New(rand.NewSource(int64(seed)*1000 + int64(x*100)))
+				agg.Add(stats.Replication{
+					Seed:       seed,
+					Value:      rng.Float64()*0.1 + shift,
+					DelayP50:   100 + rng.Float64()*10,
+					DelayP95:   500 + rng.Float64()*10,
+					DelayP99:   900 + rng.Float64()*10,
+					DelayCount: 1000,
+				})
+			}
+			rec.RecordAggregate("fig3", series, x, "deficiency", BetterLower, agg)
+		}
+	}
+	m := telemetry.NewManifest("test", 1)
+	out, err := rec.Finalize("figures", "test scenario", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestStoreAppendIdempotent(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(t, []uint64{1, 2, 3}, 0.2)
+	id1, err := store.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := store.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("append not idempotent: %s != %s", id1, id2)
+	}
+	entries, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("idempotent append wrote %d index lines", len(entries))
+	}
+	got, err := store.Get(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBytes, gotBytes) {
+		t.Fatal("loaded record differs from appended record")
+	}
+}
+
+func TestStoreResolve(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := store.Append(testRecord(t, []uint64{1}, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := store.Append(testRecord(t, []uint64{2}, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.Resolve("latest"); err != nil || got != idB {
+		t.Fatalf("latest -> %q, %v; want %q", got, err, idB)
+	}
+	if got, err := store.Resolve("latest~1"); err != nil || got != idA {
+		t.Fatalf("latest~1 -> %q, %v; want %q", got, err, idA)
+	}
+	if got, err := store.Resolve(idA[:8]); err != nil || got != idA {
+		t.Fatalf("prefix -> %q, %v; want %q", got, err, idA)
+	}
+	if _, err := store.Resolve("zz"); err == nil {
+		t.Fatal("short reference resolved")
+	}
+	if _, err := store.Resolve("ffffffff"); err == nil {
+		t.Fatal("unknown reference resolved")
+	}
+}
+
+// TestMergeMatchesSingleProcess is the ledger-level exactness pin: per-seed
+// records merged in any grouping and order hash identically to the record a
+// single multi-seed process produces.
+func TestMergeMatchesSingleProcess(t *testing.T) {
+	seeds := []uint64{11, 22, 33, 44}
+	combined := testRecord(t, seeds, 0.2)
+	var parts []*Record
+	for _, s := range seeds {
+		parts = append(parts, testRecord(t, []uint64{s}, 0.2))
+	}
+	wantID := mustMergedID(t, parts, nil)
+
+	// Reversed order.
+	rev := []*Record{parts[3], parts[2], parts[1], parts[0]}
+	if got := mustMergedID(t, rev, nil); got != wantID {
+		t.Fatal("merge is order-dependent")
+	}
+	// Associativity: merge((a,b), (c,d)) == merge(a,b,c,d).
+	left, err := Merge(parts[:2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Merge(parts[2:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustMergedID(t, []*Record{left, right}, nil); got != wantID {
+		t.Fatal("merge is grouping-dependent")
+	}
+	// Idempotence: merging a record with itself changes nothing.
+	twice, err := Merge([]*Record{parts[0], parts[0]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, err := Merge([]*Record{parts[0]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onceID, err := once.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	twiceID, err := twice.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onceID != twiceID {
+		t.Fatal("merge is not idempotent")
+	}
+
+	// The merged aggregate equals the in-process multi-seed aggregate point
+	// for point: same partials, same summaries.
+	merged, err := Merge(parts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Points) != len(combined.Points) {
+		t.Fatalf("merged has %d points, combined %d", len(merged.Points), len(combined.Points))
+	}
+	for i, p := range merged.Points {
+		q := combined.Points[i]
+		if p.Key() != q.Key() {
+			t.Fatalf("point %d key %s != %s", i, p.Key(), q.Key())
+		}
+		if p.Summary != q.Summary {
+			t.Fatalf("point %s: merged summary %+v != combined %+v", p.Key(), p.Summary, q.Summary)
+		}
+		a, err := stats.EncodeRecord(p.Agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := stats.EncodeRecord(q.Agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("point %s: merged partial differs from combined partial", p.Key())
+		}
+	}
+}
+
+func mustMergedID(t *testing.T, recs []*Record, ids []string) string {
+	t.Helper()
+	m, err := Merge(recs, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestMergeRejectsDirectionConflict(t *testing.T) {
+	a := testRecord(t, []uint64{1}, 0.2)
+	b := testRecord(t, []uint64{2}, 0.2)
+	b.Points[0].Better = BetterHigher
+	if _, err := Merge([]*Record{a, b}, nil); err == nil {
+		t.Fatal("merge accepted conflicting directions")
+	}
+}
+
+func TestDiffSelfIsClean(t *testing.T) {
+	rec := testRecord(t, []uint64{1, 2, 3}, 0.2)
+	rep, err := Diff(rec, rec, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasRegression() {
+		t.Fatalf("self-diff reports %d regressions", rep.Regressions)
+	}
+	for _, v := range rep.Points {
+		if v.Significant || v.Regression || v.Improved || v.DelayRegression {
+			t.Fatalf("self-diff point %s/%s not clean: %+v", v.Figure, v.Series, v)
+		}
+	}
+}
+
+// TestDiffFlagsInjectedRegression shifts every deficiency up by far more
+// than the replication noise and expects the sentinel to fire; the reversed
+// comparison must read as an improvement, not a regression.
+func TestDiffFlagsInjectedRegression(t *testing.T) {
+	base := testRecord(t, []uint64{1, 2, 3, 4}, 0.2)
+	worse := testRecord(t, []uint64{1, 2, 3, 4}, 0.8)
+	rep, err := Diff(base, worse, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasRegression() {
+		t.Fatal("sentinel missed an injected regression")
+	}
+	if rep.Regressions != len(rep.Points) {
+		t.Fatalf("only %d of %d points flagged", rep.Regressions, len(rep.Points))
+	}
+	back, err := Diff(worse, base, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.HasRegression() {
+		t.Fatal("improvement flagged as regression")
+	}
+	if back.Improvements == 0 {
+		t.Fatal("improvement not reported")
+	}
+}
+
+// TestDiffSingleReplicationFallback exercises the relative-threshold path a
+// t-test cannot cover (n=1 on both sides, e.g. bench imports).
+func TestDiffSingleReplicationFallback(t *testing.T) {
+	mk := func(v float64) *Record {
+		rec := NewRecorder()
+		rec.RecordReplication("bench", "DB-DP", 0, "ns_per_interval", BetterLower,
+			stats.Replication{Value: v}, nil)
+		out, err := rec.Finalize("bench", "bench", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	rep, err := Diff(mk(1000), mk(1500), DiffOptions{RelThreshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasRegression() {
+		t.Fatal("50% single-rep growth not flagged")
+	}
+	rep, err = Diff(mk(1000), mk(1050), DiffOptions{RelThreshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasRegression() {
+		t.Fatal("5% single-rep growth flagged at 10% threshold")
+	}
+}
+
+func TestDiffDelayQuantileRegression(t *testing.T) {
+	mk := func(p99 float64) *Record {
+		rec := NewRecorder()
+		rec.RecordReplication("run", "DB-DP", 0, "deficiency", BetterLower,
+			stats.Replication{Seed: 1, Value: 0.2, DelayP50: 100, DelayP95: 400, DelayP99: p99, DelayCount: 500}, nil)
+		out, err := rec.Finalize("run", "run", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	rep, err := Diff(mk(900), mk(2000), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasRegression() {
+		t.Fatal("p99 delay doubling not flagged")
+	}
+}
+
+func TestBuildHistory(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Append(testRecord(t, []uint64{1}, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Append(testRecord(t, []uint64{2}, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := BuildHistory(store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Enabled || len(h.Runs) != 2 {
+		t.Fatalf("history: enabled=%v runs=%d", h.Enabled, len(h.Runs))
+	}
+	// 2 series × 1 metric on one figure -> 2 trajectories with 2 samples each.
+	if len(h.Trajectories) != 2 {
+		t.Fatalf("history has %d trajectories, want 2", len(h.Trajectories))
+	}
+	for _, tr := range h.Trajectories {
+		if len(tr.Values) != 2 {
+			t.Fatalf("trajectory %s/%s has %d samples, want 2", tr.Series, tr.Metric, len(tr.Values))
+		}
+	}
+}
+
+func TestImportBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_2026-01-01.json")
+	doc := `{
+  "date": "2026-01-01", "go_version": "go1.22.0", "goos": "linux",
+  "goarch": "amd64", "num_cpu": 8, "benchtime": "1s", "scenario": "control",
+  "results": [
+    {"protocol": "DB-DP", "iterations": 100, "ns_per_interval": 9000,
+     "allocs_per_op": 0, "bytes_per_op": 0, "intervals_per_sec": 111111},
+    {"protocol": "LDF", "iterations": 120, "ns_per_interval": 7000,
+     "allocs_per_op": 2, "bytes_per_op": 64, "intervals_per_sec": 142857}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ImportBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != "bench" || len(rec.Points) != 4 {
+		t.Fatalf("imported kind=%q points=%d, want bench/4", rec.Kind, len(rec.Points))
+	}
+	if rec.Manifest == nil || rec.Manifest.Tool != "benchtrend" {
+		t.Fatal("imported record missing benchtrend manifest")
+	}
+	var ns float64
+	for _, p := range rec.Points {
+		if p.Series == "DB-DP" && p.Metric == "ns_per_interval" {
+			ns = p.Summary.Mean
+		}
+	}
+	if ns != 9000 {
+		t.Fatalf("DB-DP ns_per_interval %v, want 9000", ns)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := testRecord(t, []uint64{1, 2}, 0.2)
+	b := testRecord(t, []uint64{1, 2}, 0.2)
+	if err := Equivalent(a, b); err != nil {
+		t.Errorf("identical records not equivalent: %v", err)
+	}
+	shifted := testRecord(t, []uint64{1, 2}, 0.8)
+	if err := Equivalent(a, shifted); err == nil {
+		t.Error("shifted record reported equivalent")
+	}
+	extra := testRecord(t, []uint64{1, 2, 3}, 0.2)
+	if err := Equivalent(a, extra); err == nil {
+		t.Error("extra-seed record reported equivalent")
+	}
+}

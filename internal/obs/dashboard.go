@@ -25,7 +25,8 @@ td, th { border: 1px solid #2c3440; padding: .25rem .6rem; text-align: left; }
 <body>
 <h1>rtmac observability plane</h1>
 <p><a href="/metrics">/metrics</a> &middot; <a href="/api/progress">/api/progress</a>
- &middot; <a href="/events">/events</a> &middot; <a href="/healthz">/healthz</a></p>
+ &middot; <a href="/events">/events</a> &middot; <a href="/history">/history</a>
+ &middot; <a href="/healthz">/healthz</a></p>
 <h2>Progress</h2>
 <div>overall <span class="bar"><div id="totalbar" style="width:0%"></div></span>
  <span id="totaltext"></span></div>

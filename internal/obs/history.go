@@ -1,0 +1,87 @@
+package obs
+
+// historyHTML is the run-history page: one self-contained document that
+// renders /api/runs — the attached run ledger's records and cross-run metric
+// trajectories — as a table plus unicode sparklines. With no ledger attached
+// the page says so instead of erroring.
+const historyHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>rtmac run history</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2rem;
+       background: #101418; color: #d6dee6; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem; }
+a { color: #6fb3ff; }
+table { border-collapse: collapse; margin-top: .5rem; }
+td, th { border: 1px solid #2c3440; padding: .25rem .6rem; text-align: left; }
+.dirty { color: #e0af68; }
+.spark { letter-spacing: .05em; }
+#empty { color: #8b98a5; }
+</style>
+</head>
+<body>
+<h1>rtmac run history</h1>
+<p><a href="/">dashboard</a> &middot; <a href="/api/runs">/api/runs</a></p>
+<p id="empty" style="display:none"></p>
+<h2 id="runshead" style="display:none">Runs</h2>
+<table id="runs" style="display:none"></table>
+<h2 id="trajhead" style="display:none">Trajectories (per run mean)</h2>
+<table id="traj" style="display:none"></table>
+<script>
+function esc(s) { return String(s).replace(/[&<>]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;'}[c])); }
+const SPARK = '▁▂▃▄▅▆▇█';
+function spark(vals) {
+  const lo = Math.min(...vals), hi = Math.max(...vals);
+  const span = hi - lo || 1;
+  return vals.map(v => SPARK[Math.min(7, Math.floor(8 * (v - lo) / span))]).join('');
+}
+async function refresh() {
+  let h;
+  try {
+    const r = await fetch('/api/runs');
+    if (!r.ok) { showEmpty('no run ledger attached (start with -ledger DIR)'); return; }
+    h = await r.json();
+  } catch (e) { return; }
+  if (!h.enabled || !(h.runs || []).length) {
+    showEmpty('ledger ' + esc(h.dir || '') + ' is empty'); return;
+  }
+  document.getElementById('empty').style.display = 'none';
+  show('runshead'); show('runs');
+  const rows = ['<tr><th>id</th><th>appended</th><th>kind</th><th>tool</th>' +
+    '<th>scenario</th><th>commit</th><th>seeds</th><th>points</th></tr>'];
+  for (const run of h.runs.slice().reverse()) {
+    rows.push('<tr><td>' + esc(run.short_id) + '</td><td>' + esc(run.appended || '') +
+      '</td><td>' + esc(run.kind) + '</td><td>' + esc(run.tool || '') + '</td><td>' +
+      esc(run.scenario || '') + '</td><td>' + esc(run.commit || '') +
+      (run.dirty ? ' <span class="dirty">dirty</span>' : '') + '</td><td>' +
+      (run.seeds || 0) + '</td><td>' + run.points + '</td></tr>');
+  }
+  document.getElementById('runs').innerHTML = rows.join('');
+  const trajs = h.trajectories || [];
+  if (trajs.length) {
+    show('trajhead'); show('traj');
+    const trows = ['<tr><th>figure</th><th>series</th><th>metric</th><th>better</th>' +
+      '<th>latest</th><th>trend (oldest → newest)</th></tr>'];
+    for (const t of trajs) {
+      const vals = (t.values || []).map(v => v.mean);
+      const latest = vals.length ? vals[vals.length - 1] : NaN;
+      trows.push('<tr><td>' + esc(t.figure) + '</td><td>' + esc(t.series) + '</td><td>' +
+        esc(t.metric) + '</td><td>' + esc(t.better) + '</td><td>' + latest.toPrecision(4) +
+        '</td><td class="spark">' + spark(vals) + '</td></tr>');
+    }
+    document.getElementById('traj').innerHTML = trows.join('');
+  }
+}
+function show(id) { document.getElementById(id).style.display = ''; }
+function showEmpty(msg) {
+  const el = document.getElementById('empty');
+  el.textContent = msg; el.style.display = '';
+}
+refresh();
+setInterval(refresh, 5000);
+</script>
+</body>
+</html>
+`

@@ -34,11 +34,19 @@ type Plane struct {
 	// concurrently with the simulation; obs stays decoupled from the journey
 	// package by treating the document as opaque JSON-marshalable data.
 	links func() any
+	// runs, when set, produces the /api/runs document (the run-ledger
+	// history: past records and cross-run metric trajectories). Like links,
+	// the document is opaque JSON so obs stays decoupled from the ledger.
+	runs func() any
 }
 
 // SetLinksProvider installs the /api/links document source. A nil provider
 // (or none) makes the endpoint answer 404.
 func (p *Plane) SetLinksProvider(fn func() any) { p.links = fn }
+
+// SetRunsProvider installs the /api/runs document source. A nil provider
+// (or none) makes the endpoint answer 404.
+func (p *Plane) SetRunsProvider(fn func() any) { p.runs = fn }
 
 // NewPlane builds a plane around reg (a fresh registry if nil) with a new
 // tracker and broker.
@@ -57,6 +65,8 @@ func (p *Plane) Handler() http.Handler {
 	mux.HandleFunc("/metrics", p.handleMetrics)
 	mux.HandleFunc("/api/progress", p.handleProgress)
 	mux.HandleFunc("/api/links", p.handleLinks)
+	mux.HandleFunc("/api/runs", p.handleRuns)
+	mux.HandleFunc("/history", p.handleHistory)
 	mux.HandleFunc("/events", p.handleEvents)
 	return mux
 }
@@ -132,6 +142,24 @@ func (p *Plane) handleLinks(w http.ResponseWriter, r *http.Request) {
 	if err := enc.Encode(p.links()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+func (p *Plane) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	if p.runs == nil {
+		http.Error(w, "no run ledger attached (run with -ledger DIR)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p.runs()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (p *Plane) handleHistory(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, historyHTML)
 }
 
 func (p *Plane) handleEvents(w http.ResponseWriter, r *http.Request) {

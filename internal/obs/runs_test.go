@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRunsEndpointWithoutProvider(t *testing.T) {
+	_, srv := newTestPlane(t)
+	code, _ := get(t, srv.URL+"/api/runs")
+	if code != http.StatusNotFound {
+		t.Fatalf("/api/runs without provider: status %d, want 404", code)
+	}
+}
+
+func TestRunsEndpointServesProviderDocument(t *testing.T) {
+	p, srv := newTestPlane(t)
+	p.SetRunsProvider(func() any {
+		return map[string]any{
+			"enabled": true,
+			"dir":     "/tmp/ledger",
+			"runs":    []map[string]any{{"short_id": "abcdef012345", "scenario": "fig3"}},
+		}
+	})
+	code, body := get(t, srv.URL+"/api/runs")
+	if code != http.StatusOK {
+		t.Fatalf("/api/runs status %d", code)
+	}
+	var doc struct {
+		Enabled bool   `json:"enabled"`
+		Dir     string `json:"dir"`
+		Runs    []struct {
+			ShortID  string `json:"short_id"`
+			Scenario string `json:"scenario"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if !doc.Enabled || doc.Dir != "/tmp/ledger" || len(doc.Runs) != 1 || doc.Runs[0].Scenario != "fig3" {
+		t.Fatalf("document mismatch: %+v", doc)
+	}
+}
+
+func TestHistoryPageServed(t *testing.T) {
+	_, srv := newTestPlane(t)
+	code, body := get(t, srv.URL+"/history")
+	if code != http.StatusOK {
+		t.Fatalf("/history status %d", code)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "/api/runs", "run history"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("history page missing %q", want)
+		}
+	}
+}

@@ -25,14 +25,16 @@ func (a *Accumulator) Merge(b *Accumulator) {
 // reduced from that run's quantile sketch. Seed tags the replication so
 // merged aggregates stay order-independent.
 type Replication struct {
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Value is the headline per-point metric.
-	Value float64
+	Value float64 `json:"value"`
 	// Delay quantiles in simulated microseconds; zero when the run recorded
 	// no deliveries.
-	DelayP50, DelayP95, DelayP99 float64
+	DelayP50 float64 `json:"delay_p50,omitempty"`
+	DelayP95 float64 `json:"delay_p95,omitempty"`
+	DelayP99 float64 `json:"delay_p99,omitempty"`
 	// DelayCount is the number of deliveries behind the quantiles.
-	DelayCount int64
+	DelayCount int64 `json:"delay_count,omitempty"`
 }
 
 // PointAggregate merges replications of one curve point across seeds — and,

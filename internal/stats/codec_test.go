@@ -1,0 +1,410 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randAccumulator builds an accumulator over a random stream.
+func randAccumulator(rng *rand.Rand, n int) *Accumulator {
+	var a Accumulator
+	for i := 0; i < n; i++ {
+		a.Add(rng.NormFloat64()*10 + 50)
+	}
+	return &a
+}
+
+func randSketch(t *testing.T, rng *rand.Rand, n int) *QuantileSketch {
+	t.Helper()
+	sk, err := NewQuantileSketch(0.5, 0.95, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		sk.Add(rng.ExpFloat64() * 1000)
+	}
+	return sk
+}
+
+func randPoint(rng *rand.Rand, n int) *PointAggregate {
+	var a PointAggregate
+	for i := 0; i < n; i++ {
+		a.Add(Replication{
+			Seed:       rng.Uint64() % 1000,
+			Value:      rng.Float64() * 5,
+			DelayP50:   rng.Float64() * 100,
+			DelayP95:   rng.Float64() * 500,
+			DelayP99:   rng.Float64() * 900,
+			DelayCount: rng.Int63n(10000),
+		})
+	}
+	return &a
+}
+
+// TestAccumulatorStateRoundTrip checks that State/FromState preserves the
+// Welford triple exactly and that resuming a restored accumulator matches
+// never having paused.
+func TestAccumulatorStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 100} {
+		cont := rng.Int63()
+		a := randAccumulator(rand.New(rand.NewSource(cont)), n)
+		restored, err := AccumulatorFromState(a.State())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if *restored != *a {
+			t.Fatalf("n=%d: restored %+v != original %+v", n, *restored, *a)
+		}
+		// Resume both with the same tail; they must stay identical.
+		tail := rand.New(rand.NewSource(cont + 1))
+		for i := 0; i < 10; i++ {
+			x := tail.NormFloat64()
+			a.Add(x)
+			restored.Add(x)
+		}
+		if *restored != *a {
+			t.Fatalf("n=%d: resumed streams diverged", n)
+		}
+	}
+}
+
+// TestP2StateRoundTrip covers both the warm-up-buffer and initialized-marker
+// regimes, and that a restored estimator continues the stream exactly.
+func TestP2StateRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 4, 5, 6, 500} {
+		orig, err := NewP2(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(n) + 7))
+		for i := 0; i < n; i++ {
+			orig.Add(rng.Float64() * 100)
+		}
+		restored, err := P2FromState(orig.State())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < 50; i++ {
+			x := rng.Float64() * 100
+			orig.Add(x)
+			restored.Add(x)
+		}
+		if orig.Count() != restored.Count() || orig.Quantile() != restored.Quantile() {
+			t.Fatalf("n=%d: resumed estimator diverged: %v vs %v", n, orig.Quantile(), restored.Quantile())
+		}
+	}
+}
+
+// TestSketchStateRoundTrip checks the sketch, including the empty sketch
+// whose ±Inf min/max sentinels cannot survive JSON directly.
+func TestSketchStateRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 3, 1000} {
+		sk := randSketch(t, rand.New(rand.NewSource(int64(n))), n)
+		restored, err := SketchFromState(sk.State())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if restored.Count() != sk.Count() {
+			t.Fatalf("n=%d: count %d != %d", n, restored.Count(), sk.Count())
+		}
+		if restored.Min() != sk.Min() || restored.Max() != sk.Max() {
+			t.Fatalf("n=%d: min/max (%v,%v) != (%v,%v)", n,
+				restored.Min(), restored.Max(), sk.Min(), sk.Max())
+		}
+		for _, q := range sk.Quantiles() {
+			if restored.Quantile(q) != sk.Quantile(q) {
+				t.Fatalf("n=%d: q%v %v != %v", n, q, restored.Quantile(q), sk.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestJSONByteStability checks decode∘encode is the identity on JSON bytes
+// for every state kind: fixed field order plus Go's shortest-round-trip float
+// formatting make re-encoding a decoded state reproduce the input exactly.
+func TestJSONByteStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	states := []any{
+		randAccumulator(rng, 37).State(),
+		mustP2State(t, 0.5, 3, rng),
+		mustP2State(t, 0.99, 250, rng),
+		randSketch(t, rng, 0).State(),
+		randSketch(t, rng, 420).State(),
+		randPoint(rng, 9).State(),
+	}
+	for i, st := range states {
+		first, err := json.Marshal(st)
+		if err != nil {
+			t.Fatalf("state %d: %v", i, err)
+		}
+		redecoded, err := decodeJSONState(st, first)
+		if err != nil {
+			t.Fatalf("state %d: %v", i, err)
+		}
+		second, err := json.Marshal(redecoded)
+		if err != nil {
+			t.Fatalf("state %d: %v", i, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("state %d (%T): JSON not byte-stable:\n  %s\n  %s", i, st, first, second)
+		}
+	}
+}
+
+// decodeJSONState unmarshals data into a fresh value of st's concrete type.
+func decodeJSONState(st any, data []byte) (any, error) {
+	switch st.(type) {
+	case AccumulatorState:
+		var v AccumulatorState
+		err := json.Unmarshal(data, &v)
+		return v, err
+	case P2State:
+		var v P2State
+		err := json.Unmarshal(data, &v)
+		return v, err
+	case SketchState:
+		var v SketchState
+		err := json.Unmarshal(data, &v)
+		return v, err
+	case PointState:
+		var v PointState
+		err := json.Unmarshal(data, &v)
+		return v, err
+	}
+	panic("unknown state type")
+}
+
+func mustP2State(t *testing.T, p float64, n int, rng *rand.Rand) P2State {
+	t.Helper()
+	est, err := NewP2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		est.Add(rng.Float64())
+	}
+	return est.State()
+}
+
+// TestBinaryRecordRoundTrip checks decode(encode(s)) == s and that encoding
+// the decoded value reproduces the bytes, for every kind and size regime.
+func TestBinaryRecordRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	states := []any{
+		randAccumulator(rng, 0).State(),
+		randAccumulator(rng, 64).State(),
+		mustP2State(t, 0.95, 0, rng),
+		mustP2State(t, 0.95, 4, rng),
+		mustP2State(t, 0.95, 333, rng),
+		randSketch(t, rng, 0).State(),
+		randSketch(t, rng, 100).State(),
+		randPoint(rng, 0).State(),
+		randPoint(rng, 25).State(),
+	}
+	for i, st := range states {
+		data, err := EncodeRecord(st)
+		if err != nil {
+			t.Fatalf("state %d (%T): encode: %v", i, st, err)
+		}
+		back, err := DecodeRecord(data)
+		if err != nil {
+			t.Fatalf("state %d (%T): decode: %v", i, st, err)
+		}
+		again, err := EncodeRecord(back)
+		if err != nil {
+			t.Fatalf("state %d (%T): re-encode: %v", i, st, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("state %d (%T): binary record not byte-stable", i, st)
+		}
+	}
+}
+
+// TestDecodeRecordRejects checks the decoder's guard rails.
+func TestDecodeRecordRejects(t *testing.T) {
+	good, err := EncodeRecord(AccumulatorState{N: 2, Mean: 1, M2: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad magic":       append([]byte("NOPE"), good[4:]...),
+		"bad version":     append(append([]byte{}, good[:4]...), append([]byte{99}, good[5:]...)...),
+		"bad kind":        append(append([]byte{}, good[:5]...), append([]byte{77}, good[6:]...)...),
+		"truncated":       good[:len(good)-3],
+		"trailing":        append(append([]byte{}, good...), 0),
+		"negative count":  mustEncodeRaw(t, AccumulatorState{N: -1}),
+		"nonfinite":       mustEncodeRaw(t, AccumulatorState{N: 1, Mean: math.Inf(1)}),
+		"huge point":      {0x52, 0x54, 0x53, 0x50, 1, 4, 0xff, 0xff, 0xff, 0xff},
+		"bad p2 quantile": mustEncodeRaw(t, P2State{P: 1.5, Count: 0, Buf: []float64{}}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeRecord(data); err == nil {
+			t.Errorf("%s: decode accepted invalid record", name)
+		}
+	}
+}
+
+// mustEncodeRaw builds the record bytes without the FromState validation, to
+// prove the DECODER rejects them.
+func mustEncodeRaw(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := EncodeRecord(v)
+	if err != nil {
+		t.Fatalf("raw encode: %v", err)
+	}
+	return data
+}
+
+// TestAccumulatorMergeMatchesSingleStream checks Chan et al. pairwise merge
+// against one accumulator that saw everything, within float tolerance.
+func TestAccumulatorMergeMatchesSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var whole Accumulator
+	parts := make([]*Accumulator, 4)
+	for i := range parts {
+		parts[i] = &Accumulator{}
+	}
+	for i := 0; i < 4000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		whole.Add(x)
+		parts[i%4].Add(x)
+	}
+	var merged Accumulator
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), whole.Count())
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-12 {
+		t.Fatalf("mean %v != %v", merged.Mean(), whole.Mean())
+	}
+	if math.Abs(merged.Variance()-whole.Variance()) > 1e-9 {
+		t.Fatalf("variance %v != %v", merged.Variance(), whole.Variance())
+	}
+}
+
+// TestPointStateMergeExact is the exactness pin for the run ledger: however
+// the replication multiset is split into serialized shards and whatever order
+// the shards are recombined in, the canonical state — and therefore the
+// Welford fold and every summary statistic — is IDENTICAL to the
+// single-process aggregate, bit for bit.
+func TestPointStateMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	whole := randPoint(rng, 24)
+	want := whole.State()
+	wantBytes, err := EncodeRecord(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := whole.Summary(0.95)
+
+	reps := want.Reps
+	splits := [][]int{
+		{24},         // one shard
+		{1, 23},      // singleton first
+		{8, 8, 8},    // even thirds
+		{23, 1},      // singleton last
+		{5, 7, 3, 9}, // ragged
+	}
+	for si, sizes := range splits {
+		// Cut the multiset into shards, round-trip each through the binary
+		// codec, then merge in reverse order to stress order-independence.
+		var shards []*PointAggregate
+		at := 0
+		for _, size := range sizes {
+			var shard PointAggregate
+			for _, r := range reps[at : at+size] {
+				shard.Add(r)
+			}
+			at += size
+			data, err := EncodeRecord(shard.State())
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := DecodeRecord(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := PointFromState(back.(PointState))
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards = append(shards, restored)
+		}
+		var merged PointAggregate
+		for i := len(shards) - 1; i >= 0; i-- {
+			merged.Merge(shards[i])
+		}
+		got, err := EncodeRecord(merged.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantBytes) {
+			t.Fatalf("split %d: merged state differs from single-process state", si)
+		}
+		if merged.Summary(0.95) != wantSum {
+			t.Fatalf("split %d: merged summary differs from single-process summary", si)
+		}
+	}
+}
+
+// FuzzDecodeRecord throws arbitrary bytes at the binary decoder; it must
+// never panic, and any record it accepts must re-encode to the same bytes
+// (the canonical-form invariant content addressing relies on).
+func FuzzDecodeRecord(f *testing.F) {
+	rng := rand.New(rand.NewSource(99))
+	seed := []any{
+		AccumulatorState{},
+		randAccumulator(rng, 17).State(),
+		mustP2StateF(f, 0.95, 3, rng),
+		mustP2StateF(f, 0.5, 88, rng),
+		randPoint(rng, 6).State(),
+	}
+	sk, err := NewQuantileSketch(0.5, 0.95, 0.99)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		sk.Add(rng.Float64() * 100)
+	}
+	seed = append(seed, sk.State())
+	for _, st := range seed {
+		data, err := EncodeRecord(st)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("RTSP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		again, err := EncodeRecord(st)
+		if err != nil {
+			t.Fatalf("decoded record failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("accepted record is not canonical: %x != %x", data, again)
+		}
+	})
+}
+
+func mustP2StateF(f *testing.F, p float64, n int, rng *rand.Rand) P2State {
+	est, err := NewP2(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		est.Add(rng.Float64())
+	}
+	return est.State()
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"time"
@@ -32,6 +33,10 @@ type Manifest struct {
 	GoVersion   string `json:"go_version"`
 	VCSRevision string `json:"vcs_revision,omitempty"`
 	VCSModified bool   `json:"vcs_modified,omitempty"`
+	// Hostname and GoMaxProcs identify the machine and its parallelism, so
+	// durable records (the run ledger) are self-identifying across a fleet.
+	Hostname   string `json:"hostname,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
 	// Started and Elapsed are wall-clock timings; SimTimeUS is the simulated
 	// horizon in microseconds, so SimTimeUS/Elapsed is the real-time factor.
 	Started   time.Time     `json:"started"`
@@ -45,10 +50,14 @@ type Manifest struct {
 // start time.
 func NewManifest(tool string, seed uint64) *Manifest {
 	m := &Manifest{
-		Tool:      tool,
-		Seed:      seed,
-		GoVersion: runtime.Version(),
-		Started:   time.Now().UTC(),
+		Tool:       tool,
+		Seed:       seed,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Started:    time.Now().UTC(),
+	}
+	if host, err := os.Hostname(); err == nil {
+		m.Hostname = host
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {

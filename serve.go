@@ -1,6 +1,7 @@
 package rtmac
 
 import (
+	"rtmac/internal/ledger"
 	"rtmac/internal/obs"
 	"rtmac/internal/telemetry"
 )
@@ -86,6 +87,25 @@ func (s *Simulation) linkBoard() LinkBoard {
 		board.Links[n] = e
 	}
 	return board
+}
+
+// ServeRunLedger attaches the run ledger at dir to the plane's /api/runs
+// endpoint and /history page. Each request re-reads the ledger, so records
+// appended after the server starts — including this run's own, appended when
+// it finishes — show up without a restart.
+func (o *Observability) ServeRunLedger(dir string) error {
+	store, err := ledger.Open(dir)
+	if err != nil {
+		return err
+	}
+	o.plane.SetRunsProvider(func() any {
+		h, err := ledger.BuildHistory(store, 200)
+		if err != nil {
+			return &ledger.History{Enabled: true, Dir: store.Dir()}
+		}
+		return h
+	})
+	return nil
 }
 
 // Addr returns the bound listen address.

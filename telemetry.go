@@ -127,3 +127,7 @@ type Manifest struct {
 
 // WriteJSON renders the manifest as indented JSON.
 func (m *Manifest) WriteJSON(w io.Writer) error { return m.m.WriteJSON(w) }
+
+// Raw returns the underlying telemetry manifest, for in-module consumers
+// that persist it (the run ledger).
+func (m *Manifest) Raw() *telemetry.Manifest { return m.m }
