@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke serve-smoke journeys-smoke ledger-smoke fuzz cover clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke serve-smoke journeys-smoke ledger-smoke health-smoke fuzz cover clean
 
 all: build vet test
 
@@ -124,6 +124,32 @@ ledger-smoke:
 	$(GO) run ./cmd/rtmacsim -protocol dbdp -intervals 1000 -seed 7 -ledger /tmp/rtmac-ledger >/dev/null
 	$(GO) run ./cmd/rtmacsim -protocol dbdp -intervals 1000 -seed 7 -p 0.45 -ledger /tmp/rtmac-ledger >/dev/null
 	! $(GO) run ./cmd/ledgerctl -dir /tmp/rtmac-ledger diff latest~1 latest
+
+# End-to-end check of the runtime health plane: run a served simulation with
+# the collector, slot-budget watchdog, and continuous profile ring all live;
+# require /api/health to serve a structurally valid document that reports the
+# plane enabled; then shut down cleanly and require the ring to hold at least
+# one CPU profile that `go tool pprof -raw` can parse.
+health-smoke:
+	rm -rf /tmp/rtmac-ring
+	$(GO) build -o /tmp/rtmacsim-health ./cmd/rtmacsim
+	/tmp/rtmacsim-health -protocol dbdp -intervals 3000 \
+		-serve 127.0.0.1:19881 -health -profilering /tmp/rtmac-ring \
+		>/tmp/rtmac-health.out 2>&1 & echo $$! > /tmp/rtmac-health.pid
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:19881/healthz >/dev/null 2>&1 && break; sleep 0.2; done
+	for i in $$(seq 1 100); do \
+		grep -q '"type":"cpu"' /tmp/rtmac-ring/manifest.jsonl 2>/dev/null && break; sleep 0.2; done
+	curl -fsS http://127.0.0.1:19881/api/health > /tmp/rtmac-health.json
+	/tmp/rtmacsim-health -checkhealth /tmp/rtmac-health.json
+	grep -Eq '"enabled": ?true' /tmp/rtmac-health.json
+	kill -TERM $$(cat /tmp/rtmac-health.pid)
+	for i in $$(seq 1 50); do \
+		kill -0 $$(cat /tmp/rtmac-health.pid) 2>/dev/null || break; sleep 0.2; done
+	! kill -0 $$(cat /tmp/rtmac-health.pid) 2>/dev/null
+	grep -q '"type":"cpu"' /tmp/rtmac-ring/manifest.jsonl
+	$(GO) tool pprof -raw $$(ls /tmp/rtmac-ring/cpu-*.pprof | head -1) > /dev/null
+	grep -q 'health:' /tmp/rtmac-health.out
 
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario

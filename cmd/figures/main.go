@@ -8,6 +8,7 @@
 //	figures -csv results         # also write results/<fig>.csv
 //	figures -serve :8080         # watch live progress at http://localhost:8080
 //	figures -ledger .ledger      # append aggregated points to the run ledger
+//	figures -health -profilering /tmp/ring   # runtime health + continuous profiling
 //
 // Each figure prints an aligned table and an ASCII chart; -csv writes the
 // raw points for external plotting.
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"rtmac/internal/experiment"
+	"rtmac/internal/health"
 	"rtmac/internal/ledger"
 	"rtmac/internal/obs"
 	"rtmac/internal/telemetry"
@@ -42,14 +44,31 @@ func main() {
 		serve     = flag.String("serve", "", "serve the live observability plane (dashboard, /metrics, /api/progress, /events SSE) on this address (e.g. :8080) while the sweep runs")
 		ledgerDir = flag.String("ledger", "", "append this run's aggregated points to the run ledger in DIR (see ledgerctl)")
 		seedList  = flag.String("seedlist", "", "comma-separated exact replication seeds, overriding -seeds and the derived schedule (e.g. 101,202); lets separately recorded ledger runs merge into exactly one combined run")
+
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile for the whole sweep to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		healthFlag  = flag.Bool("health", false, "sample runtime health (GC pauses, heap, scheduler latency) during the sweep; summary lands in the ledger manifest and on /api/health when -serve is active")
+		profileRing = flag.String("profilering", "", "continuously capture CPU+heap pprof snapshots into a bounded ring in DIR (implies -health)")
 	)
 	flag.Parse()
+	if *profileRing != "" {
+		*healthFlag = true
+	}
 
 	if *list {
 		for _, f := range experiment.Extended() {
 			fmt.Printf("%-16s %s\n", f.ID(), f.Title())
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		stop, err := health.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
 	}
 
 	figures := experiment.All()
@@ -129,6 +148,40 @@ func main() {
 			})
 		}
 	}
+	// The health plane for a sweep is process-level: one collector sampling
+	// the runtime for the whole run, and (optionally) a profile ring
+	// labeled with the tool name. Per-interval watchdogs live in rtmacsim,
+	// where a single simulation owns the process; a sweep runs many at once.
+	var (
+		healthCol  *health.Collector
+		healthRing *health.ProfileRing
+	)
+	if *healthFlag {
+		var cfg health.CollectorConfig
+		if plane != nil {
+			cfg.Registry = plane.Registry
+		}
+		healthCol = health.NewCollector(cfg)
+		healthCol.Start()
+		if *profileRing != "" {
+			ring, err := health.NewProfileRing(health.RingConfig{
+				Dir:    *profileRing,
+				Labels: map[string]string{"tool": "figures"},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			ring.Start()
+			healthRing = ring
+			fmt.Fprintf(os.Stderr, "health: profile ring capturing into %s\n", *profileRing)
+		}
+		if plane != nil {
+			plane.SetHealthProvider(func() any {
+				return health.BuildDoc(healthCol, nil, healthRing)
+			})
+		}
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -192,6 +245,20 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlPath)
 	}
+	if healthCol != nil {
+		if healthRing != nil {
+			healthRing.Stop()
+		}
+		healthCol.Stop()
+		sum := healthCol.Summary()
+		if manifest != nil {
+			manifest.Health = &sum
+		}
+		fmt.Fprintf(os.Stderr, "health: %d samples · peak heap %.1f MiB · peak %d goroutines · %d GC pauses (~%v total, max %v)\n",
+			sum.Samples, float64(sum.HeapLivePeakBytes)/(1<<20), sum.GoroutinePeak,
+			sum.GCPauses, time.Duration(sum.GCPauseTotalNS).Round(time.Microsecond),
+			time.Duration(sum.GCPauseMaxNS).Round(time.Microsecond))
+	}
 	if recorder != nil {
 		scenario := "figures"
 		switch {
@@ -221,6 +288,12 @@ func main() {
 	}
 	if plane != nil {
 		if err := plane.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *memprofile != "" {
+		if err := health.WriteHeapProfile(*memprofile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

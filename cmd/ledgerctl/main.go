@@ -38,6 +38,7 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"rtmac/internal/ledger"
 )
@@ -172,6 +173,22 @@ func runShow(store *ledger.Store, args []string) error {
 			sort.Strings(keys)
 			for _, k := range keys {
 				fmt.Printf("config   %s=%s\n", k, m.Config[k])
+			}
+		}
+		if h := m.Health; h != nil {
+			fmt.Printf("health   peak heap %.1f MiB · peak %d goroutines · %d GC pauses (~%s total, max %s) over %d samples\n",
+				float64(h.HeapLivePeakBytes)/(1<<20), h.GoroutinePeak, h.GCPauses,
+				time.Duration(h.GCPauseTotalNS).Round(time.Microsecond),
+				time.Duration(h.GCPauseMaxNS).Round(time.Microsecond), h.Samples)
+			if h.WatchdogIntervals > 0 {
+				verdict := fmt.Sprintf("health   slot budget %s: %d/%d overruns",
+					time.Duration(h.WatchdogBudgetNS), h.Overruns, h.WatchdogIntervals)
+				if h.Overruns > 0 {
+					verdict += fmt.Sprintf(" · worst +%s (gc %d / sched %d / user %d)",
+						time.Duration(h.MaxOverrunNS).Round(time.Microsecond),
+						h.StallsGC, h.StallsSched, h.StallsUser)
+				}
+				fmt.Println(verdict)
 			}
 		}
 	}

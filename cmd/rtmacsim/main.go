@@ -10,6 +10,11 @@
 //	# The video scenario under FCSMA:
 //	rtmacsim -protocol fcsma -profile video -links 20 -p 0.7 \
 //	         -arrivals video -rate 0.55 -ratio 0.9 -intervals 5000
+//
+//	# With the runtime health plane: GC/scheduler telemetry, slot-budget
+//	# watchdog, continuous profile ring, /api/health + /debug/pprof:
+//	rtmacsim -protocol dbdp -intervals 200000 -health \
+//	         -profilering /tmp/ring -serve :8080
 package main
 
 import (
@@ -18,12 +23,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"runtime"
-	"runtime/pprof"
 	"syscall"
 	"time"
 
 	"rtmac"
+	"rtmac/internal/health"
 	"rtmac/internal/ledger"
 	"rtmac/internal/stats"
 	"rtmac/scenario"
@@ -63,6 +67,10 @@ func main() {
 		tracePath  = flag.String("trace", "", "write the packet transmission log (most recent -trace-cap records) to this file after the run")
 		traceCap   = flag.Int("trace-cap", 65536, "transmission records retained by -trace")
 		ledgerFlag = flag.String("ledger", "", "append the run's final metrics (with mergeable partials) to the run ledger in DIR; inspect with ledgerctl")
+		healthOn   = flag.Bool("health", false, "enable the runtime health plane: GC/scheduler telemetry, slot-budget watchdog, /api/health on -serve, health summary in manifests")
+		ringDir    = flag.String("profilering", "", "capture continuous CPU+heap pprof snapshots into a bounded ring in DIR (implies -health)")
+		slotBudget = flag.Duration("slot-budget", 0, "wall-clock budget per simulated interval for the -health watchdog (default: one simulated interval; negative disables the watchdog)")
+		checkhlth  = flag.String("checkhealth", "", "validate an /api/health JSON document saved to this file, then exit")
 	)
 	flag.Parse()
 	if *sampleTx < 1 {
@@ -89,6 +97,12 @@ func main() {
 		}
 		return
 	}
+	if *checkhlth != "" {
+		if err := checkHealthDoc(*checkhlth); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	showTimeline = *timeline
 	showDelay = *delay
 	telemetryPath = *telemetry
@@ -106,6 +120,9 @@ func main() {
 	traceLogPath = *tracePath
 	traceLogCap = *traceCap
 	ledgerDir = *ledgerFlag
+	healthEnabled = *healthOn || *ringDir != ""
+	profileRingDir = *ringDir
+	healthSlotBudget = *slotBudget
 
 	if *configPath != "" {
 		cfg, net, configIntervals, err := scenario.LoadAnyFile(*configPath)
@@ -144,24 +161,27 @@ func main() {
 // The flag globals are set before runAndReport runs; topo carries the named
 // topology when -config pointed at one.
 var (
-	showTimeline   bool
-	showDelay      bool
-	telemetryPath  string
-	eventsPath     string
-	eventSampleTx  int
-	cpuprofilePath string
-	memprofilePath string
-	monitorEnabled bool
-	monitorStrict  bool
-	perfettoPath   string
-	flightPath     string
-	serveAddr      string
-	journeysPath   string
-	journeySample  int
-	traceLogPath   string
-	traceLogCap    int
-	ledgerDir      string
-	topo           *topology.Network
+	showTimeline     bool
+	showDelay        bool
+	telemetryPath    string
+	eventsPath       string
+	eventSampleTx    int
+	cpuprofilePath   string
+	memprofilePath   string
+	monitorEnabled   bool
+	monitorStrict    bool
+	perfettoPath     string
+	flightPath       string
+	serveAddr        string
+	journeysPath     string
+	journeySample    int
+	traceLogPath     string
+	traceLogCap      int
+	ledgerDir        string
+	healthEnabled    bool
+	profileRingDir   string
+	healthSlotBudget time.Duration
+	topo             *topology.Network
 )
 
 func runAndReport(cfg rtmac.Config, intervals int) {
@@ -231,6 +251,21 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 			fatal(err)
 		}
 	}
+	var hp *rtmac.Health
+	if healthEnabled {
+		hp, err = sim.EnableHealth(rtmac.HealthConfig{
+			SlotBudget: healthSlotBudget,
+			ProfileDir: profileRingDir,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if profileRingDir != "" {
+			fmt.Printf("health: runtime collector + slot-budget watchdog on; profile ring -> %s\n", profileRingDir)
+		} else {
+			fmt.Println("health: runtime collector + slot-budget watchdog on")
+		}
+	}
 	var obsrv *rtmac.Observability
 	if serveAddr != "" {
 		obsrv, err = sim.ServeObservability(serveAddr, intervals)
@@ -247,15 +282,15 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		}
 	}
 	if cpuprofilePath != "" {
-		f, err := os.Create(cpuprofilePath)
+		stopProfile, err := health.StartCPUProfile(cpuprofilePath)
 		if err != nil {
 			fatal(err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		defer pprof.StopCPUProfile()
+		defer func() {
+			if err := stopProfile(); err != nil {
+				fmt.Fprintln(os.Stderr, "rtmacsim:", err)
+			}
+		}()
 	}
 	start := time.Now()
 	runErr := sim.Run(intervals)
@@ -318,16 +353,13 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		dumpFlightRecorder(mon)
 		reportViolations(mon)
 	}
+	if hp != nil && serveAddr == "" {
+		// Final collector round before manifests are stamped; with -serve the
+		// plane stays live (the ring keeps capturing) until the signal below.
+		hp.Stop()
+	}
 	if memprofilePath != "" {
-		f, err := os.Create(memprofilePath)
-		if err != nil {
-			fatal(err)
-		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := health.WriteHeapProfile(memprofilePath); err != nil {
 			fatal(err)
 		}
 	}
@@ -354,6 +386,23 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 	}
 	fmt.Printf("simulated %d intervals (%v of channel time) in %v\n",
 		intervals, sim.Now().Std(), time.Since(start).Round(time.Millisecond))
+	if hp != nil {
+		sum := hp.Summary()
+		fmt.Printf("health: %d samples · peak heap %.1f MiB · %d GC pauses (~%v total, max %v)",
+			sum.Samples, float64(sum.HeapLivePeakBytes)/(1<<20), sum.GCPauses,
+			time.Duration(sum.GCPauseTotalNS).Round(time.Microsecond),
+			time.Duration(sum.GCPauseMaxNS).Round(time.Microsecond))
+		if sum.WatchdogIntervals > 0 {
+			fmt.Printf(" · slot budget %v: %d/%d overruns",
+				time.Duration(sum.WatchdogBudgetNS), sum.Overruns, sum.WatchdogIntervals)
+			if sum.Overruns > 0 {
+				fmt.Printf(" (worst +%v; gc %d / sched %d / user %d)",
+					time.Duration(sum.MaxOverrunNS).Round(time.Microsecond),
+					sum.StallsGC, sum.StallsSched, sum.StallsUser)
+			}
+		}
+		fmt.Println()
+	}
 	if dl != nil && dl.Count() > 0 {
 		p50, err := dl.Quantile(0.5)
 		if err != nil {
@@ -390,6 +439,9 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
+		if hp != nil {
+			hp.Stop()
+		}
 		if err := obsrv.Close(); err != nil {
 			fatal(err)
 		}
@@ -578,6 +630,21 @@ func checkMetrics(path string) error {
 		return fmt.Errorf("%s: no samples", path)
 	}
 	fmt.Printf("%s: %d samples ok\n", path, n)
+	return nil
+}
+
+// checkHealthDoc validates an /api/health JSON document saved to a file.
+// Used by `make health-smoke` and CI to guard the endpoint's shape.
+func checkHealthDoc(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rtmac.ValidateHealthDoc(f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: health document ok\n", path)
 	return nil
 }
 

@@ -9,11 +9,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 
 	"rtmac/internal/arrival"
@@ -365,7 +368,16 @@ func runJobs(meta figureMeta, jobs []job, opts RunOptions) error {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out, err := runOne(j.sc, j.spec, j.seed, opts)
+			// Label the worker for the profiling plane: any CPU sample taken
+			// while this job runs carries the figure, sweep point, and seed,
+			// so `go tool pprof -tags` can answer "which figure is slow?".
+			var out runOut
+			var err error
+			pprof.Do(context.Background(), pprof.Labels(
+				"figure", meta.id, "point", j.key, "seed", strconv.FormatUint(j.seed, 10),
+			), func(context.Context) {
+				out, err = runOne(j.sc, j.spec, j.seed, opts)
+			})
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {

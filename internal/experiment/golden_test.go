@@ -6,6 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"rtmac/internal/health"
 )
 
 // updateGolden regenerates the checked-in golden outputs:
@@ -51,5 +54,58 @@ func TestGoldenFigures(t *testing.T) {
 					fig.ID(), buf.Bytes(), want)
 			}
 		})
+	}
+}
+
+// TestGoldenFiguresWithHealthPlane re-runs the golden check with the runtime
+// health plane live — a fast-sampling collector plus a pprof ring capturing
+// into a scratch directory — and demands byte-identical CSVs. The health
+// plane observes the runtime, never the simulation; this is the contract
+// that makes `-health` safe to leave on for recorded runs.
+func TestGoldenFiguresWithHealthPlane(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are updated by TestGoldenFigures")
+	}
+	col := health.NewCollector(health.CollectorConfig{Period: 10 * time.Millisecond})
+	col.Start()
+	defer col.Stop()
+	ring, err := health.NewProfileRing(health.RingConfig{
+		Dir:         t.TempDir(),
+		CPUDuration: 20 * time.Millisecond,
+		Period:      50 * time.Millisecond,
+		Labels:      map[string]string{"tool": "golden-test"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring.Start()
+	defer ring.Stop()
+
+	opts := RunOptions{Seeds: 1, IntervalScale: 0.01, BaseSeed: 424242}
+	for _, fig := range All() {
+		fig := fig
+		t.Run(fig.ID(), func(t *testing.T) {
+			res, err := fig.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteCSV(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", fig.ID()+".csv")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run TestGoldenFigures with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("golden mismatch for %s with health plane enabled — "+
+					"the health plane must not perturb simulation results.\nGot:\n%s\nWant:\n%s",
+					fig.ID(), buf.Bytes(), want)
+			}
+		})
+	}
+	if col.Status().Samples == 0 {
+		t.Fatal("collector took no samples while the figures ran")
 	}
 }

@@ -98,6 +98,10 @@ type Network struct {
 	debtFn   func(link int) float64
 	// beginFn/endFn are the cached RunIntervals callbacks.
 	beginFn, endFn func(int) error
+	// wallBegin/wallEnd bracket each interval in wall-clock time for the
+	// slot-budget watchdog (internal/health); nil unless attached.
+	wallBegin func()
+	wallEnd   func(k int64, at sim.Time)
 }
 
 // NewNetwork validates the configuration and assembles the simulation.
@@ -229,6 +233,17 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 // instead of letting a broken simulation grind on.
 func (nw *Network) SetIntervalCheck(fn func() error) { nw.check = fn }
 
+// SetWallClockHooks installs wall-clock brackets around every simulated
+// interval: begin runs first thing in beginInterval, end runs last thing in
+// endInterval with the interval's index and simulated end time. The
+// slot-budget watchdog uses them to compare wall-clock cost per interval
+// against a budget. Either hook may be nil; with both nil the hot path
+// retains its two nil checks and nothing else.
+func (nw *Network) SetWallClockHooks(begin func(), end func(k int64, at sim.Time)) {
+	nw.wallBegin = begin
+	nw.wallEnd = end
+}
+
 // Telemetry returns the registry the network's metrics live in.
 func (nw *Network) Telemetry() *telemetry.Registry { return nw.reg }
 
@@ -347,6 +362,9 @@ func (nw *Network) Run(intervals int) error {
 // beginInterval opens interval k = nw.intervals: sample arrivals, reset the
 // context, hand control to the protocol.
 func (nw *Network) beginInterval() error {
+	if nw.wallBegin != nil {
+		nw.wallBegin()
+	}
 	k := nw.intervals
 	start := sim.Time(k) * nw.cfg.Profile.Interval
 	end := start + nw.cfg.Profile.Interval
@@ -403,6 +421,9 @@ func (nw *Network) endInterval() error {
 		if err := nw.check(); err != nil {
 			return fmt.Errorf("mac: interval %d: %w", k, err)
 		}
+	}
+	if nw.wallEnd != nil {
+		nw.wallEnd(k, nw.ctx.End)
 	}
 	return nil
 }

@@ -24,8 +24,10 @@ td, th { border: 1px solid #2c3440; padding: .25rem .6rem; text-align: left; }
 </head>
 <body>
 <h1>rtmac observability plane</h1>
+<p id="runtime"></p>
 <p><a href="/metrics">/metrics</a> &middot; <a href="/api/progress">/api/progress</a>
  &middot; <a href="/events">/events</a> &middot; <a href="/history">/history</a>
+ &middot; <a href="/api/health">/api/health</a> &middot; <a href="/debug/pprof/">/debug/pprof</a>
  &middot; <a href="/healthz">/healthz</a></p>
 <h2>Progress</h2>
 <div>overall <span class="bar"><div id="totalbar" style="width:0%"></div></span>
@@ -34,6 +36,8 @@ td, th { border: 1px solid #2c3440; padding: .25rem .6rem; text-align: left; }
 <table id="figures"><tr><th>figure</th><th>title</th><th>jobs</th><th>state</th></tr></table>
 <h2 id="linkshead" style="display:none">Links: miss attribution &amp; debt</h2>
 <table id="links" style="display:none"></table>
+<h2 id="healthhead" style="display:none">Runtime health</h2>
+<table id="health" style="display:none"></table>
 <h2>Event stream</h2>
 <div id="events"></div>
 <script>
@@ -93,10 +97,72 @@ async function refreshLinks() {
     tbl.innerHTML = rows.join('');
   } catch (e) { /* no link board attached; keep polling */ }
 }
+function nspark(vals) {
+  if (!vals || !vals.length) return '';
+  const tail = vals.slice(-60);
+  const max = Math.max(...tail, 1e-9);
+  return tail.map(v => SPARK[Math.min(7, Math.floor(8 * Math.max(0, v) / max))]).join('');
+}
+function fmtBytes(b) {
+  if (b >= 1 << 30) return (b / (1 << 30)).toFixed(2) + ' GiB';
+  if (b >= 1 << 20) return (b / (1 << 20)).toFixed(1) + ' MiB';
+  if (b >= 1 << 10) return (b / (1 << 10)).toFixed(1) + ' KiB';
+  return b + ' B';
+}
+function fmtNS(ns) {
+  if (ns >= 1e9) return (ns / 1e9).toFixed(2) + ' s';
+  if (ns >= 1e6) return (ns / 1e6).toFixed(2) + ' ms';
+  if (ns >= 1e3) return (ns / 1e3).toFixed(1) + ' µs';
+  return ns + ' ns';
+}
+async function refreshHealth() {
+  try {
+    const r = await fetch('/api/health');
+    if (!r.ok) return;
+    const h = await r.json();
+    const rt = h.runtime || {};
+    document.getElementById('runtime').textContent =
+      (rt.go_version || '?') + ' · GOMAXPROCS ' + (rt.gomaxprocs || '?') +
+      (rt.hostname ? ' · ' + rt.hostname : '') + ' · pid ' + (rt.pid || '?') +
+      (rt.vcs_revision ? ' · ' + rt.vcs_revision.slice(0, 12) + (rt.vcs_modified ? '+dirty' : '') : '');
+    document.getElementById('runtime').style.color = '#8b98a5';
+    if (!h.enabled || !h.collector) return;
+    document.getElementById('healthhead').style.display = '';
+    const tbl = document.getElementById('health');
+    tbl.style.display = '';
+    const c = h.collector;
+    const rows = [];
+    rows.push('<tr><td>heap</td><td>' + fmtBytes(c.heap_used_bytes) +
+      ' used (peak ' + fmtBytes(c.heap_peak_bytes) + ', goal ' + fmtBytes(c.heap_goal_bytes) +
+      ')</td><td>' + nspark(c.heap_series) + '</td></tr>');
+    rows.push('<tr><td>GC</td><td>' + c.gc_cycles + ' cycles · ' + c.gc_pauses +
+      ' pauses · total ~' + fmtNS(c.gc_pause_total_ns) + ' · max ' + fmtNS(c.gc_pause_max_ns) +
+      '</td><td>' + nspark(c.pause_series) + '</td></tr>');
+    rows.push('<tr><td>scheduler</td><td>p99 latency ' + fmtNS(c.sched_latency_p99_ns) +
+      ' · ' + c.goroutines + ' goroutines (peak ' + c.goroutine_peak + ')</td><td></td></tr>');
+    if (h.watchdog) {
+      const w = h.watchdog;
+      rows.push('<tr><td>slot budget</td><td>' + fmtNS(w.budget_ns) + '/interval · ' +
+        w.overruns + '/' + w.intervals + ' overruns' +
+        (w.overruns ? ' · worst +' + fmtNS(w.max_overrun_ns) +
+          ' (gc ' + w.stalls_gc + ' / sched ' + w.stalls_sched + ' / user ' + w.stalls_user + ')' : '') +
+        '</td><td></td></tr>');
+    }
+    if (h.ring) {
+      rows.push('<tr><td>profile ring</td><td>' + h.ring.cpu_profiles + ' cpu + ' +
+        h.ring.heap_profiles + ' heap profiles in ' + esc(h.ring.dir) +
+        (h.ring.last_error ? ' · last error: ' + esc(h.ring.last_error) : '') +
+        '</td><td></td></tr>');
+    }
+    tbl.innerHTML = rows.join('');
+  } catch (e) { /* keep polling */ }
+}
 refresh();
 refreshLinks();
+refreshHealth();
 setInterval(refresh, 2000);
 setInterval(refreshLinks, 2000);
+setInterval(refreshHealth, 2000);
 const log = document.getElementById('events');
 const es = new EventSource('/events');
 es.onmessage = ev => {

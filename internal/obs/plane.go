@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"time"
 
 	"rtmac/internal/telemetry"
@@ -38,6 +39,10 @@ type Plane struct {
 	// history: past records and cross-run metric trajectories). Like links,
 	// the document is opaque JSON so obs stays decoupled from the ledger.
 	runs func() any
+	// health, when set, produces the /api/health document (runtime identity,
+	// GC/scheduler telemetry, watchdog verdict, profile-ring state). Opaque
+	// JSON again, so obs stays decoupled from internal/health.
+	health func() any
 }
 
 // SetLinksProvider installs the /api/links document source. A nil provider
@@ -47,6 +52,12 @@ func (p *Plane) SetLinksProvider(fn func() any) { p.links = fn }
 // SetRunsProvider installs the /api/runs document source. A nil provider
 // (or none) makes the endpoint answer 404.
 func (p *Plane) SetRunsProvider(fn func() any) { p.runs = fn }
+
+// SetHealthProvider installs the /api/health document source. Without one
+// the endpoint serves a minimal {"enabled": false} document — unlike links
+// and runs it never 404s, because the dashboard header polls it for the
+// runtime identity block regardless of whether a health plane is attached.
+func (p *Plane) SetHealthProvider(fn func() any) { p.health = fn }
 
 // NewPlane builds a plane around reg (a fresh registry if nil) with a new
 // tracker and broker.
@@ -66,8 +77,18 @@ func (p *Plane) Handler() http.Handler {
 	mux.HandleFunc("/api/progress", p.handleProgress)
 	mux.HandleFunc("/api/links", p.handleLinks)
 	mux.HandleFunc("/api/runs", p.handleRuns)
+	mux.HandleFunc("/api/health", p.handleHealth)
 	mux.HandleFunc("/history", p.handleHistory)
 	mux.HandleFunc("/events", p.handleEvents)
+	// The standard pprof endpoints, mounted explicitly because the plane uses
+	// its own mux rather than http.DefaultServeMux. /debug/pprof/profile
+	// shares the process CPU profiler with -cpuprofile and the profile ring;
+	// whichever starts second gets an error, not a corrupt profile.
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	return mux
 }
 
@@ -153,6 +174,26 @@ func (p *Plane) handleRuns(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(p.runs()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (p *Plane) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var doc any
+	if p.health != nil {
+		doc = p.health()
+	} else {
+		// No provider: still identify the process so the dashboard header
+		// works on bare planes (tests, embedders).
+		doc = struct {
+			Enabled bool                   `json:"enabled"`
+			Runtime telemetry.BuildRuntime `json:"runtime"`
+		}{Runtime: telemetry.RuntimeInfo()}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

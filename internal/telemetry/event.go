@@ -62,6 +62,14 @@ const (
 	// (internal/monitor): Check names the checker, Msg the detail, Fields
 	// the checker-specific payload.
 	EventViolation = "violation"
+	// EventStall is a slot-budget watchdog overrun (internal/health): the
+	// wall-clock time spent simulating interval K exceeded the configured
+	// budget (Link = -1). Fields: budget_ns, elapsed_ns, overrun_ns,
+	// gc_pause_ns and gc_pauses (GC activity in the attribution window),
+	// sched_p99_ns, and cause (0 user code, 1 GC pause, 2 sched delay).
+	// Unlike every other kind it reports wall-clock truth, so its presence
+	// is inherently non-deterministic across runs.
+	EventStall = "stall"
 )
 
 // Sink consumes events. Implementations must not retain the Fields map

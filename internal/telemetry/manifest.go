@@ -44,32 +44,101 @@ type Manifest struct {
 	SimTimeUS int64         `json:"sim_time_us,omitempty"`
 	// Events counts the structured events written, if a stream was active.
 	Events int64 `json:"events,omitempty"`
+	// Health summarizes the host runtime's behavior during the run (peak
+	// heap, GC pauses, slot-budget watchdog verdict) when the health plane
+	// was enabled; nil otherwise. It makes ledger regressions explainable:
+	// a slower run with a tripled GC pause total is a runtime story, not a
+	// protocol one.
+	Health *HealthSummary `json:"health,omitempty"`
 }
 
-// NewManifest returns a manifest stamped with the current build identity and
-// start time.
-func NewManifest(tool string, seed uint64) *Manifest {
-	m := &Manifest{
-		Tool:       tool,
-		Seed:       seed,
+// HealthSummary condenses one run's runtime-health observations into the few
+// numbers worth keeping forever. It is produced by internal/health and rides
+// the manifest into telemetry dumps and ledger records.
+type HealthSummary struct {
+	// Samples is how many collector sampling rounds contributed.
+	Samples int64 `json:"samples"`
+	// HeapLivePeakBytes is the peak heap occupancy (object-occupied bytes)
+	// observed by any sample.
+	HeapLivePeakBytes uint64 `json:"heap_live_peak_bytes"`
+	// GoroutinePeak is the peak goroutine count observed.
+	GoroutinePeak int64 `json:"goroutine_peak"`
+	// GCCycles and GCPauses count completed GC cycles and stop-the-world
+	// pauses over the run; GCPauseTotalNS/GCPauseMaxNS aggregate the pause
+	// distribution (histogram-derived, so totals are approximate).
+	GCCycles       uint64 `json:"gc_cycles"`
+	GCPauses       uint64 `json:"gc_pauses"`
+	GCPauseTotalNS int64  `json:"gc_pause_total_ns"`
+	GCPauseMaxNS   int64  `json:"gc_pause_max_ns"`
+	// SchedLatencyP99NS is the p99 goroutine scheduling latency at the last
+	// sample (time runnable goroutines waited for a thread).
+	SchedLatencyP99NS int64 `json:"sched_latency_p99_ns,omitempty"`
+	// Watchdog verdict: how many intervals ran against which wall-clock
+	// budget, how many overran it, the worst overrun, and the stall
+	// attribution tallies. All zero when no watchdog was attached.
+	WatchdogBudgetNS  int64 `json:"watchdog_budget_ns,omitempty"`
+	WatchdogIntervals int64 `json:"watchdog_intervals,omitempty"`
+	Overruns          int64 `json:"overruns,omitempty"`
+	MaxOverrunNS      int64 `json:"max_overrun_ns,omitempty"`
+	StallsGC          int64 `json:"stalls_gc,omitempty"`
+	StallsSched       int64 `json:"stalls_sched,omitempty"`
+	StallsUser        int64 `json:"stalls_user,omitempty"`
+}
+
+// BuildRuntime identifies the process and build an observation came from: the
+// Go toolchain, parallelism, host, and VCS state embedded in the binary. The
+// manifest embeds it at construction; the obs plane serves it live on
+// /api/health so a dashboard can show what it is talking to.
+type BuildRuntime struct {
+	GoVersion   string `json:"go_version"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	Hostname    string `json:"hostname,omitempty"`
+	PID         int    `json:"pid"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// RuntimeInfo gathers the current process's build identity and runtime
+// parallelism. It is cheap enough to call per HTTP request but callers that
+// serve it repeatedly may cache it: nothing in it changes after start.
+func RuntimeInfo() BuildRuntime {
+	r := BuildRuntime{
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Started:    time.Now().UTC(),
+		NumCPU:     runtime.NumCPU(),
+		PID:        os.Getpid(),
 	}
 	if host, err := os.Hostname(); err == nil {
-		m.Hostname = host
+		r.Hostname = host
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {
 			switch s.Key {
 			case "vcs.revision":
-				m.VCSRevision = s.Value
+				r.VCSRevision = s.Value
 			case "vcs.modified":
-				m.VCSModified = s.Value == "true"
+				r.VCSModified = s.Value == "true"
 			}
 		}
 	}
-	return m
+	return r
+}
+
+// NewManifest returns a manifest stamped with the current build identity and
+// start time.
+func NewManifest(tool string, seed uint64) *Manifest {
+	info := RuntimeInfo()
+	return &Manifest{
+		Tool:        tool,
+		Seed:        seed,
+		GoVersion:   info.GoVersion,
+		GoMaxProcs:  info.GoMaxProcs,
+		Hostname:    info.Hostname,
+		VCSRevision: info.VCSRevision,
+		VCSModified: info.VCSModified,
+		Started:     time.Now().UTC(),
+	}
 }
 
 // Finish stamps the elapsed wall-clock time since Started.

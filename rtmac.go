@@ -129,6 +129,7 @@ type Simulation struct {
 	events          *telemetry.JSONL
 	manifest        *telemetry.Manifest
 	journeys        *journey.Tracer
+	health          *Health
 	// sinks holds every attached event consumer (JSONL streams, the runtime
 	// monitor, flight recorder, Perfetto exporter) in attach order; the
 	// network sees them as one fan-out.

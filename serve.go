@@ -37,6 +37,10 @@ func (s *Simulation) ServeObservability(addr string, plannedIntervals int) (*Obs
 	// or after serving both work; the tracer's accessors are mutex-guarded
 	// against the simulation goroutine.
 	plane.SetLinksProvider(func() any { return s.linkBoard() })
+	// Likewise dynamic: the /api/health document reflects whether a health
+	// plane is attached at request time, and always carries the runtime
+	// identity block for the dashboard header.
+	plane.SetHealthProvider(func() any { return s.healthDoc() })
 	if err := plane.Start(addr); err != nil {
 		return nil, err
 	}

@@ -115,6 +115,10 @@ func (s *Simulation) Manifest(tool string, extra map[string]string) *Manifest {
 	if s.events != nil {
 		m.Events = s.events.Count()
 	}
+	if s.health != nil {
+		sum := s.health.Summary()
+		m.Health = &sum
+	}
 	m.Finish()
 	return &Manifest{m: m}
 }
