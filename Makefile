@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke serve-smoke journeys-smoke ledger-smoke health-smoke fuzz cover clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke serve-smoke journeys-smoke ledger-smoke health-smoke rundiff-smoke fuzz cover clean
 
 all: build vet test
 
@@ -151,11 +151,36 @@ health-smoke:
 	$(GO) tool pprof -raw $$(ls /tmp/rtmac-ring/cpu-*.pprof | head -1) > /dev/null
 	grep -q 'health:' /tmp/rtmac-health.out
 
+# End-to-end check of the differential run explainer. Two identical-seed runs
+# must compare byte-equal (exit 0); a third run with one extra arrival
+# injected at interval 123 must diverge (exit 1) with the first-divergence
+# pointer landing exactly on the perturbed interval, for both the event
+# stream and the journey key-join. Exit 2 (usage/IO) fails the target.
+rundiff-smoke:
+	rm -rf /tmp/rtmac-rundiff && mkdir -p /tmp/rtmac-rundiff
+	$(GO) build -o /tmp/rtmacsim-rundiff ./cmd/rtmacsim
+	$(GO) build -o /tmp/rundiff-smoke ./cmd/rundiff
+	/tmp/rtmacsim-rundiff -protocol dbdp -intervals 400 -seed 7 \
+		-record-for-diff /tmp/rtmac-rundiff/a >/dev/null
+	/tmp/rtmacsim-rundiff -protocol dbdp -intervals 400 -seed 7 \
+		-record-for-diff /tmp/rtmac-rundiff/b >/dev/null
+	/tmp/rundiff-smoke -check-equal /tmp/rtmac-rundiff/a.events.jsonl /tmp/rtmac-rundiff/b.events.jsonl
+	/tmp/rundiff-smoke -check-equal /tmp/rtmac-rundiff/a.journeys.jsonl /tmp/rtmac-rundiff/b.journeys.jsonl
+	/tmp/rtmacsim-rundiff -protocol dbdp -intervals 400 -seed 7 \
+		-record-for-diff /tmp/rtmac-rundiff/p -perturb-interval 123 -perturb-link 2 >/dev/null
+	/tmp/rundiff-smoke /tmp/rtmac-rundiff/a.events.jsonl /tmp/rtmac-rundiff/p.events.jsonl \
+		> /tmp/rtmac-rundiff/events.txt; test $$? -eq 1
+	grep -q 'k=123 ' /tmp/rtmac-rundiff/events.txt
+	/tmp/rundiff-smoke /tmp/rtmac-rundiff/a.journeys.jsonl /tmp/rtmac-rundiff/p.journeys.jsonl \
+		> /tmp/rtmac-rundiff/journeys.txt; test $$? -eq 1
+	grep -q 'delivery ratio' /tmp/rtmac-rundiff/journeys.txt
+
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario
 	$(GO) test -fuzz=FuzzRankUnrank -fuzztime=30s ./internal/perm
 	$(GO) test -fuzz=FuzzAdjacentSwapCodec -fuzztime=30s ./internal/perm
 	$(GO) test -fuzz=FuzzValidatePrometheus -fuzztime=30s ./internal/telemetry
+	$(GO) test -fuzz=FuzzDecodeEvents -fuzztime=30s ./internal/telemetry
 
 cover:
 	$(GO) test -cover ./...

@@ -118,26 +118,29 @@ func newestBaseline(exclude string) (string, error) {
 	return "", fmt.Errorf("no baseline BENCH_*.json found in the working directory (other than %s)", exclude)
 }
 
-// runCompare implements `benchtrend -compare old.json new.json`: exit status
-// 1 when any protocol's ns/interval regressed past the threshold.
-func runCompare(oldPath, newPath string, thresholdPct float64) error {
+// runCompare implements `benchtrend -compare old.json new.json`. The
+// returned flag reports whether any protocol regressed (the exit-1 case);
+// the error covers unreadable or malformed reports (the exit-2 case) — the
+// two must stay distinguishable for scripts gating on the comparison.
+func runCompare(oldPath, newPath string, thresholdPct float64) (regressed bool, err error) {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	newRep, err := loadReport(newPath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	comps := compareReports(oldRep, newRep, thresholdPct)
 	if len(comps) == 0 {
-		return fmt.Errorf("no protocols in common between %s and %s", oldPath, newPath)
+		return false, fmt.Errorf("no protocols in common between %s and %s", oldPath, newPath)
 	}
 	if n := writeComparison(os.Stdout, comps, thresholdPct); n > 0 {
-		return fmt.Errorf("%d of %d protocols regressed (more than %g%% ns/interval, or any allocs/op growth)",
+		fmt.Fprintf(os.Stderr, "benchtrend: %d of %d protocols regressed (more than %g%% ns/interval, or any allocs/op growth)\n",
 			n, len(comps), thresholdPct)
+		return true, nil
 	}
 	fmt.Printf("no regressions beyond %g%% ns/interval or any allocs/op across %d protocols (%s -> %s)\n",
 		thresholdPct, len(comps), oldRep.Date, newRep.Date)
-	return nil
+	return false, nil
 }

@@ -127,21 +127,23 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	okPath := write("ok.json", report(map[string]float64{"dbdp": 1010, "ldf": 1900}))
 	badPath := write("bad.json", report(map[string]float64{"dbdp": 1500, "ldf": 1900}))
 
-	if err := runCompare(oldPath, okPath, 10); err != nil {
-		t.Errorf("clean comparison failed: %v", err)
+	regressed, err := runCompare(oldPath, okPath, 10)
+	if err != nil || regressed {
+		t.Errorf("clean comparison failed: regressed=%v err=%v", regressed, err)
 	}
-	err := runCompare(oldPath, badPath, 10)
-	if err == nil {
+	// A regression is a verdict (exit 1), not an error (exit 2).
+	regressed, err = runCompare(oldPath, badPath, 10)
+	if err != nil {
+		t.Fatalf("regressed comparison errored instead of reporting: %v", err)
+	}
+	if !regressed {
 		t.Fatal("regressed comparison passed")
 	}
-	if !strings.Contains(err.Error(), "1 of 2 protocols regressed") {
-		t.Errorf("unexpected error: %v", err)
-	}
-	if err := runCompare(oldPath, filepath.Join(dir, "missing.json"), 10); err == nil {
+	if _, err := runCompare(oldPath, filepath.Join(dir, "missing.json"), 10); err == nil {
 		t.Error("missing file accepted")
 	}
 	empty := write("empty.json", Report{Date: "2026-01-01"})
-	if err := runCompare(oldPath, empty, 10); err == nil {
+	if _, err := runCompare(oldPath, empty, 10); err == nil {
 		t.Error("empty report accepted")
 	}
 }

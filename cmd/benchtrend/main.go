@@ -179,8 +179,12 @@ func main() {
 		default:
 			fatal(fmt.Errorf("-compare wants one argument (new.json, baseline auto-selected) or two (old.json new.json)"))
 		}
-		if err := runCompare(oldPath, newPath, *threshold); err != nil {
+		regressed, err := runCompare(oldPath, newPath, *threshold)
+		if err != nil {
 			fatal(err)
+		}
+		if regressed {
+			os.Exit(1)
 		}
 		return
 	}
@@ -216,7 +220,10 @@ func main() {
 	fmt.Println("wrote", path)
 }
 
+// fatal reports a usage or I/O failure with exit code 2, distinct from exit
+// 1 ("the comparison found a regression") so CI can tell a broken invocation
+// from a real performance change.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchtrend:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

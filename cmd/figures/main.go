@@ -146,6 +146,13 @@ func main() {
 				}
 				return h
 			})
+			plane.SetCompareProvider(func(refA, refB string) any {
+				c, err := ledger.BuildCompare(store, refA, refB, ledger.DiffOptions{})
+				if err != nil {
+					return &ledger.Compare{Enabled: true, Dir: store.Dir(), Error: err.Error()}
+				}
+				return c
+			})
 		}
 	}
 	// The health plane for a sweep is process-level: one collector sampling

@@ -28,7 +28,14 @@
 // Welch's t-test at the chosen confidence (falling back to a relative-delta
 // threshold when either side has fewer than two replications), checks delay
 // quantiles for growth, and exits non-zero when any point regressed
-// significantly in its "worse" direction.
+// significantly in its "worse" direction. With -events-old and -events-new
+// pointing at the two runs' recorded JSONL event streams (rtmacsim
+// -record-for-diff), diff drills from the statistical verdict down to the
+// first divergent event — interval, link, kind, field delta — via the
+// rundiff engine.
+//
+// Exit codes: 0 success (no difference found), 1 comparison found a
+// difference (diff regression, equal inequality), 2 usage or I/O error.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"time"
 
 	"rtmac/internal/ledger"
+	"rtmac/internal/rundiff"
 )
 
 func main() {
@@ -49,6 +57,8 @@ func main() {
 		confidence = flag.Float64("confidence", 0.95, "diff: Welch test confidence level (0.90, 0.95 or 0.99)")
 		rel        = flag.Float64("rel", 0.10, "diff: relative-delta threshold used when a side has <2 replications")
 		quantRel   = flag.Float64("quantile-rel", 0.25, "diff: relative growth of delay p50/p95/p99 flagged as regression")
+		eventsOld  = flag.String("events-old", "", "diff: OLD run's recorded JSONL event stream; with -events-new, drill to the first divergent event")
+		eventsNew  = flag.String("events-new", "", "diff: NEW run's recorded JSONL event stream (see -events-old)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ledgerctl [-dir DIR] <list|show|merge|diff|equal|import> [args]\n")
@@ -77,7 +87,7 @@ func main() {
 			Confidence:        *confidence,
 			RelThreshold:      *rel,
 			QuantileThreshold: *quantRel,
-		})
+		}, *eventsOld, *eventsNew)
 	case "equal":
 		err = runEqual(store, args)
 	case "import":
@@ -232,9 +242,12 @@ func runMerge(store *ledger.Store, args []string) error {
 	return nil
 }
 
-func runDiff(store *ledger.Store, args []string, opts ledger.DiffOptions) error {
+func runDiff(store *ledger.Store, args []string, opts ledger.DiffOptions, eventsOld, eventsNew string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("diff takes exactly two references (each may be a comma-separated set)")
+	}
+	if (eventsOld == "") != (eventsNew == "") {
+		return fmt.Errorf("-events-old and -events-new must be given together")
 	}
 	oldRec, err := loadSet(store, strings.Split(args[0], ","))
 	if err != nil {
@@ -249,11 +262,47 @@ func runDiff(store *ledger.Store, args []string, opts ledger.DiffOptions) error 
 		return err
 	}
 	report.WriteText(os.Stdout)
+	diverged := false
+	if eventsOld != "" {
+		// Deep mode: drill from the statistical verdict to the pathwise
+		// cause — the first event where the two recorded runs part ways.
+		diverged, err = deepEventDiff(eventsOld, eventsNew)
+		if err != nil {
+			return err
+		}
+	}
 	if report.HasRegression() {
 		fmt.Fprintf(os.Stderr, "ledgerctl: %d significant regressions\n", report.Regressions)
 		os.Exit(1)
 	}
+	if diverged {
+		fmt.Fprintln(os.Stderr, "ledgerctl: event streams diverge (no metric regression)")
+		os.Exit(1)
+	}
 	return nil
+}
+
+// deepEventDiff runs the rundiff engine over the two recorded event streams
+// and prints the first-divergence pointer. Returns whether they diverged.
+func deepEventDiff(oldPath, newPath string) (bool, error) {
+	fa, err := os.Open(oldPath)
+	if err != nil {
+		return false, err
+	}
+	defer fa.Close()
+	fb, err := os.Open(newPath)
+	if err != nil {
+		return false, err
+	}
+	defer fb.Close()
+	d, err := rundiff.DiffEvents(fa, fb, rundiff.Options{})
+	if err != nil {
+		return false, err
+	}
+	fmt.Println()
+	fmt.Printf("event streams (%s vs %s):\n", oldPath, newPath)
+	rundiff.WriteEventDiff(os.Stdout, d)
+	return !d.Equal, nil
 }
 
 // runEqual asserts two records (or comma-separated sets, merged in memory)
@@ -328,7 +377,10 @@ func runImport(store *ledger.Store, args []string) error {
 	return nil
 }
 
+// fatal reports a usage or I/O failure. Exit code 2 keeps it distinct from
+// exit 1, which means "the comparison found a difference" — scripts gating on
+// diff/equal can tell a broken invocation from a real regression.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ledgerctl:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

@@ -71,6 +71,10 @@ func main() {
 		ringDir    = flag.String("profilering", "", "capture continuous CPU+heap pprof snapshots into a bounded ring in DIR (implies -health)")
 		slotBudget = flag.Duration("slot-budget", 0, "wall-clock budget per simulated interval for the -health watchdog (default: one simulated interval; negative disables the watchdog)")
 		checkhlth  = flag.String("checkhealth", "", "validate an /api/health JSON document saved to this file, then exit")
+		recordDiff = flag.String("record-for-diff", "", "record everything rundiff aligns on: events to PREFIX.events.jsonl and full-sample journeys to PREFIX.journeys.jsonl (overrides -events/-journeys/-journey-sample)")
+		perturbK   = flag.Int64("perturb-interval", -1, "inject one extra packet arrival at this interval (0-based; -1 = off); with -record-for-diff this is the rundiff divergence drill")
+		perturbLnk = flag.Int("perturb-link", 0, "link receiving the -perturb-interval injection")
+		perturbN   = flag.Int("perturb-extra", 1, "packets injected by -perturb-interval")
 	)
 	flag.Parse()
 	if *sampleTx < 1 {
@@ -123,6 +127,14 @@ func main() {
 	healthEnabled = *healthOn || *ringDir != ""
 	profileRingDir = *ringDir
 	healthSlotBudget = *slotBudget
+	if *recordDiff != "" {
+		eventsPath = *recordDiff + ".events.jsonl"
+		journeysPath = *recordDiff + ".journeys.jsonl"
+		journeySample = 1
+	}
+	if *perturbK >= 0 {
+		perturbSpec = &rtmac.Perturbation{K: *perturbK, Link: *perturbLnk, Extra: *perturbN}
+	}
 
 	if *configPath != "" {
 		cfg, net, configIntervals, err := scenario.LoadAnyFile(*configPath)
@@ -181,10 +193,12 @@ var (
 	healthEnabled    bool
 	profileRingDir   string
 	healthSlotBudget time.Duration
+	perturbSpec      *rtmac.Perturbation
 	topo             *topology.Network
 )
 
 func runAndReport(cfg rtmac.Config, intervals int) {
+	cfg.Perturb = perturbSpec
 	sim, err := rtmac.NewSimulation(cfg)
 	if err != nil {
 		fatal(err)

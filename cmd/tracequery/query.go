@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"rtmac/internal/journey"
+	"rtmac/internal/telemetry"
 )
 
 // run is the testable entry point: parses args, executes the query, writes
@@ -42,14 +43,14 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 	defer in.Close()
 
-	js, err := decodeParallel(in, *workers)
+	js, base, err := decodeParallel(in, *workers)
 	if err != nil {
 		return 1, fmt.Errorf("%s: %w", name, err)
 	}
 	if *check {
 		for i := range js {
 			if err := js[i].Validate(); err != nil {
-				return 1, fmt.Errorf("%s: line %d: %w", name, i+1, err)
+				return 1, fmt.Errorf("%s: line %d: %w", name, base+i+1, err)
 			}
 		}
 		fmt.Fprintf(stdout, "ok: %d journeys, all spans valid\n", len(js))
@@ -94,15 +95,29 @@ func openInput(args []string) (io.ReadCloser, string, error) {
 // decodeParallel splits the stream into lines and decodes them across
 // workers sharded by line index; results land at their line's slot, so the
 // order (and everything derived from it) is independent of the worker count.
-func decodeParallel(r io.Reader, workers int) ([]journey.Journey, error) {
+// The returned base is the count of header lines dropped from the front, so
+// callers can report original 1-based line numbers.
+func decodeParallel(r io.Reader, workers int) ([]journey.Journey, int, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	lines := bytes.Split(raw, []byte("\n"))
 	// Drop trailing blank lines (the stream is newline-terminated).
 	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
 		lines = lines[:len(lines)-1]
+	}
+	// A leading schema header (written by the tracer) is validated and
+	// dropped; base keeps error messages pointing at original line numbers.
+	base := 0
+	if len(lines) > 0 {
+		if h, ok := telemetry.ParseHeader(lines[0]); ok {
+			if err := h.Check(telemetry.JourneyStreamSchema, telemetry.JourneyStreamVersion); err != nil {
+				return nil, 0, fmt.Errorf("line 1: %w", err)
+			}
+			lines = lines[1:]
+			base = 1
+		}
 	}
 	js := make([]journey.Journey, len(lines))
 	if workers > len(lines) && len(lines) > 0 {
@@ -120,7 +135,7 @@ func decodeParallel(r io.Reader, workers int) ([]journey.Journey, error) {
 			defer wg.Done()
 			for i := w; i < len(lines); i += workers {
 				if err := json.Unmarshal(lines[i], &js[i]); err != nil && errs[w].err == nil {
-					errs[w] = decodeErr{line: i + 1, err: err}
+					errs[w] = decodeErr{line: base + i + 1, err: err}
 				}
 			}
 		}(w)
@@ -135,9 +150,9 @@ func decodeParallel(r io.Reader, workers int) ([]journey.Journey, error) {
 		}
 	}
 	if first.err != nil {
-		return nil, fmt.Errorf("line %d: %w", first.line, first.err)
+		return nil, 0, fmt.Errorf("line %d: %w", first.line, first.err)
 	}
-	return js, nil
+	return js, base, nil
 }
 
 func filter(js []journey.Journey, link int, cause string) []journey.Journey {

@@ -3,6 +3,8 @@ package experiment
 import (
 	"bytes"
 	"testing"
+
+	"rtmac/internal/rundiff"
 )
 
 // TestRunWorkerCountInvariance pins cross-worker determinism: a figure sweep
@@ -36,8 +38,14 @@ func TestRunWorkerCountInvariance(t *testing.T) {
 	}
 	serial := render(1)
 	parallel := render(8)
-	if !bytes.Equal(serial, parallel) {
-		t.Fatalf("Workers=1 and Workers=8 disagree:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
-			serial, parallel)
+	// rundiff is the enforcement tool behind this contract: on a breach it
+	// names the first divergent row and column instead of dumping both CSVs.
+	d, err := rundiff.DiffCSV(bytes.NewReader(serial), bytes.NewReader(parallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal {
+		t.Fatalf("Workers=1 and Workers=8 disagree at row %d col %d: %q vs %q\n  w1: %s\n  w8: %s",
+			d.Row, d.Col, d.FieldA, d.FieldB, d.RawA, d.RawB)
 	}
 }

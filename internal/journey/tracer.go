@@ -9,6 +9,7 @@ import (
 
 	"rtmac/internal/medium"
 	"rtmac/internal/sim"
+	"rtmac/internal/telemetry"
 )
 
 // Tracer records sampled packet journeys and per-link debt timelines from
@@ -104,6 +105,13 @@ func NewTracer(links int, w io.Writer, sample int, opts ...Option) (*Tracer, err
 	if w != nil {
 		t.buf = bufio.NewWriter(w)
 		t.enc = json.NewEncoder(t.buf)
+		header := telemetry.StreamHeader{
+			Schema:  telemetry.JourneyStreamSchema,
+			Version: telemetry.JourneyStreamVersion,
+		}
+		if _, err := t.buf.Write(header.MarshalLine()); err != nil {
+			t.err = fmt.Errorf("journey: stream: %w", err)
+		}
 	}
 	for _, opt := range opts {
 		opt(t)
@@ -397,15 +405,30 @@ func (t *Tracer) putJourney(j *Journey) {
 }
 
 // decodeAll parses a journeys JSONL stream, stopping at the first malformed
-// line.
+// line. A leading schema header (written by the tracer) is validated and
+// skipped; headerless legacy streams decode as before.
 func decodeAll(r io.Reader) ([]Journey, error) {
 	dec := json.NewDecoder(r)
 	var out []Journey
+	first := true
 	for {
-		var j Journey
-		if err := dec.Decode(&j); err == io.EOF {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
 			return out, nil
 		} else if err != nil {
+			return out, fmt.Errorf("journey: decode journey %d: %w", len(out), err)
+		}
+		if first {
+			first = false
+			if h, ok := telemetry.ParseHeader(raw); ok {
+				if err := h.Check(telemetry.JourneyStreamSchema, telemetry.JourneyStreamVersion); err != nil {
+					return nil, fmt.Errorf("journey: %w", err)
+				}
+				continue
+			}
+		}
+		var j Journey
+		if err := json.Unmarshal(raw, &j); err != nil {
 			return out, fmt.Errorf("journey: decode journey %d: %w", len(out), err)
 		}
 		out = append(out, j)

@@ -78,20 +78,9 @@ func BuildHistory(s *Store, limit int) (*History, error) {
 		if err != nil {
 			continue
 		}
-		short := e.ID
-		if len(short) > 12 {
-			short = short[:12]
-		}
-		run := HistoryRun{
-			ID: e.ID, ShortID: short, Appended: e.Appended,
-			Kind: rec.Kind, Scenario: rec.Scenario,
-			Seeds: len(rec.Seeds), Points: len(rec.Points),
-		}
-		if rec.Manifest != nil {
-			run.Tool = rec.Manifest.Tool
-			run.Commit = shortCommit(rec.Manifest.VCSRevision)
-			run.Dirty = rec.Manifest.VCSModified
-		}
+		run := historyRow(e.ID, rec)
+		run.Appended = e.Appended
+		short := run.ShortID
 		h.Runs = append(h.Runs, run)
 
 		// Reduce the record's points to one sample per (figure, series,

@@ -390,3 +390,65 @@ func TestEquivalent(t *testing.T) {
 		t.Error("extra-seed record reported equivalent")
 	}
 }
+
+func TestBuildCompare(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := store.Append(testRecord(t, []uint64{1, 2, 3}, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Append(testRecord(t, []uint64{1, 2, 3}, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical records: the document carries both sides and a clean report.
+	c, err := BuildCompare(store, "latest~1", "latest", DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Error != "" || c.Report == nil {
+		t.Fatalf("compare of identical runs: error=%q report=%v", c.Error, c.Report)
+	}
+	if c.Report.HasRegression() {
+		t.Fatalf("self-compare found regressions: %+v", c.Report)
+	}
+	if c.A == nil || c.B == nil || c.A.Run.ID != idA || c.A.Ref != "latest~1" {
+		t.Fatalf("sides mislabeled: a=%+v b=%+v", c.A, c.B)
+	}
+	if c.A.Run.Tool != "test" || c.A.Run.Points != 6 {
+		t.Fatalf("side row missing identity: %+v", c.A.Run)
+	}
+
+	// A short ID prefix resolves like on the history page's compare links.
+	c, err = BuildCompare(store, idA[:12], "latest", DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Error != "" || c.A == nil || c.A.Run.ID != idA {
+		t.Fatalf("prefix reference failed: error=%q a=%+v", c.Error, c.A)
+	}
+
+	// A genuine worsening shows up as a regression in the report.
+	if _, err := store.Append(testRecord(t, []uint64{1, 2, 3}, 0.6)); err != nil {
+		t.Fatal(err)
+	}
+	c, err = BuildCompare(store, "latest~1", "latest", DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Error != "" || c.Report == nil || !c.Report.HasRegression() {
+		t.Fatalf("worsened run not flagged: error=%q report=%+v", c.Error, c.Report)
+	}
+
+	// Bad references land in the document, not in the HTTP error path.
+	c, err = BuildCompare(store, "latest~99", "latest", DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Error == "" || c.Report != nil {
+		t.Fatalf("unresolvable reference not surfaced: %+v", c)
+	}
+}

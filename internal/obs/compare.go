@@ -1,0 +1,123 @@
+package obs
+
+// compareHTML is the run-compare page: one self-contained document that
+// renders /api/compare?a=&b= — the regression sentinel's verdict table for
+// two ledger records — with the two references editable and pre-fillable via
+// the page's own query string, so history rows can deep-link a comparison.
+const compareHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>rtmac run compare</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2rem;
+       background: #101418; color: #d6dee6; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem; }
+a { color: #6fb3ff; }
+table { border-collapse: collapse; margin-top: .5rem; }
+td, th { border: 1px solid #2c3440; padding: .25rem .6rem; text-align: left; }
+input { font: inherit; background: #1a2027; color: #d6dee6;
+        border: 1px solid #2c3440; padding: .2rem .4rem; width: 14rem; }
+button { font: inherit; background: #243140; color: #d6dee6;
+         border: 1px solid #2c3440; padding: .2rem .8rem; cursor: pointer; }
+.regression { color: #f7768e; }
+.improved { color: #9ece6a; }
+.dirty { color: #e0af68; }
+#error { color: #f7768e; }
+#verdict { margin-top: 1rem; font-weight: bold; }
+.muted { color: #8b98a5; }
+</style>
+</head>
+<body>
+<h1>rtmac run compare</h1>
+<p><a href="/">dashboard</a> &middot; <a href="/history">history</a> &middot;
+   <a id="apilink" href="/api/compare">/api/compare</a></p>
+<form id="refs">
+  a (baseline) <input id="a" value="latest~1">
+  b (candidate) <input id="b" value="latest">
+  <button type="submit">compare</button>
+</form>
+<p id="error" style="display:none"></p>
+<h2 id="sideshead" style="display:none">Runs</h2>
+<table id="sides" style="display:none"></table>
+<p id="verdict" style="display:none"></p>
+<h2 id="pointshead" style="display:none">Matched points</h2>
+<table id="points" style="display:none"></table>
+<p id="missing" class="muted" style="display:none"></p>
+<script>
+function esc(s) { return String(s).replace(/[&<>]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;'}[c])); }
+function show(id) { document.getElementById(id).style.display = ''; }
+function hide(id) { document.getElementById(id).style.display = 'none'; }
+function sideRow(label, s) {
+  const r = s.run;
+  return '<tr><td>' + label + '</td><td>' + esc(s.ref) + '</td><td>' + esc(r.short_id) +
+    '</td><td>' + esc(r.kind) + '</td><td>' + esc(r.tool || '') + '</td><td>' +
+    esc(r.scenario || '') + '</td><td>' + esc(r.commit || '') +
+    (r.dirty ? ' <span class="dirty">dirty</span>' : '') + '</td><td>' +
+    (r.seeds || 0) + '</td><td>' + r.points + '</td></tr>';
+}
+async function refresh() {
+  const a = document.getElementById('a').value, b = document.getElementById('b').value;
+  const api = '/api/compare?a=' + encodeURIComponent(a) + '&b=' + encodeURIComponent(b);
+  document.getElementById('apilink').href = api;
+  ['error', 'sideshead', 'sides', 'verdict', 'pointshead', 'points', 'missing'].forEach(hide);
+  let c;
+  try {
+    const r = await fetch(api);
+    if (!r.ok) { showError('no run ledger attached (start with -ledger DIR)'); return; }
+    c = await r.json();
+  } catch (e) { showError(String(e)); return; }
+  if (c.error) { showError(c.error); return; }
+  show('sideshead'); show('sides');
+  document.getElementById('sides').innerHTML =
+    '<tr><th></th><th>ref</th><th>id</th><th>kind</th><th>tool</th><th>scenario</th>' +
+    '<th>commit</th><th>seeds</th><th>points</th></tr>' +
+    sideRow('a', c.a) + sideRow('b', c.b);
+  const rep = c.report || {};
+  const v = document.getElementById('verdict');
+  v.textContent = (rep.regressions || 0) + ' regressions, ' + (rep.improvements || 0) +
+    ' improvements across ' + (rep.points || []).length + ' matched points';
+  v.className = rep.regressions ? 'regression' : 'improved';
+  show('verdict');
+  const pts = rep.points || [];
+  if (pts.length) {
+    show('pointshead'); show('points');
+    const rows = ['<tr><th>point</th><th>metric</th><th>a mean</th><th>b mean</th>' +
+      '<th>delta</th><th>verdict</th></tr>'];
+    for (const p of pts) {
+      let verdict = 'ok', cls = '';
+      if (p.regression || p.delay_regression) { verdict = 'REGRESSION: ' + esc(p.why || ''); cls = 'regression'; }
+      else if (p.improved) { verdict = 'improved'; cls = 'improved'; }
+      rows.push('<tr><td>' + esc(p.figure) + '/' + esc(p.series) + ' x=' + p.x +
+        '</td><td>' + esc(p.metric) + '</td><td>' + p.old.mean.toPrecision(5) +
+        '</td><td>' + p.new.mean.toPrecision(5) + '</td><td>' +
+        (p.rel_delta * 100).toFixed(1) + '%</td><td class="' + cls + '">' + verdict + '</td></tr>');
+    }
+    document.getElementById('points').innerHTML = rows.join('');
+  }
+  const missing = (rep.missing_old || []).map(k => k + ' only in b')
+    .concat((rep.missing_new || []).map(k => k + ' only in a'));
+  if (missing.length) {
+    const m = document.getElementById('missing');
+    m.textContent = missing.join('; '); show('missing');
+  }
+}
+function showError(msg) {
+  const el = document.getElementById('error');
+  el.textContent = msg; show('error');
+}
+document.getElementById('refs').addEventListener('submit', e => {
+  e.preventDefault();
+  const q = new URLSearchParams({
+    a: document.getElementById('a').value, b: document.getElementById('b').value });
+  history.replaceState(null, '', '/compare?' + q);
+  refresh();
+});
+const params = new URLSearchParams(location.search);
+if (params.get('a')) document.getElementById('a').value = params.get('a');
+if (params.get('b')) document.getElementById('b').value = params.get('b');
+refresh();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestCompareEndpointWithoutProvider(t *testing.T) {
+	_, srv := newTestPlane(t)
+	code, _ := get(t, srv.URL+"/api/compare")
+	if code != http.StatusNotFound {
+		t.Fatalf("/api/compare without provider: status %d, want 404", code)
+	}
+}
+
+func TestCompareEndpointPassesRefsAndDefaults(t *testing.T) {
+	p, srv := newTestPlane(t)
+	var gotA, gotB string
+	p.SetCompareProvider(func(refA, refB string) any {
+		gotA, gotB = refA, refB
+		return map[string]any{"enabled": true, "a_ref": refA, "b_ref": refB}
+	})
+
+	code, body := get(t, srv.URL+"/api/compare?a=abcd1234&b=latest~2")
+	if code != http.StatusOK {
+		t.Fatalf("/api/compare status %d", code)
+	}
+	if gotA != "abcd1234" || gotB != "latest~2" {
+		t.Fatalf("provider got refs (%q, %q)", gotA, gotB)
+	}
+	var doc struct {
+		Enabled bool   `json:"enabled"`
+		ARef    string `json:"a_ref"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if !doc.Enabled || doc.ARef != "abcd1234" {
+		t.Fatalf("document mismatch: %+v", doc)
+	}
+
+	// Missing parameters fall back to comparing the two newest records.
+	if code, _ := get(t, srv.URL+"/api/compare"); code != http.StatusOK {
+		t.Fatalf("/api/compare default status %d", code)
+	}
+	if gotA != "latest~1" || gotB != "latest" {
+		t.Fatalf("default refs (%q, %q), want (latest~1, latest)", gotA, gotB)
+	}
+}
+
+func TestComparePageServed(t *testing.T) {
+	_, srv := newTestPlane(t)
+	code, body := get(t, srv.URL+"/compare")
+	if code != http.StatusOK {
+		t.Fatalf("/compare status %d", code)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "/api/compare", "run compare", "latest~1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("compare page missing %q", want)
+		}
+	}
+}
+
+func TestHistoryPageLinksCompare(t *testing.T) {
+	// The history page must deep-link rows into /compare pre-filled; the
+	// contract is string-level since the page is a static template.
+	for _, want := range []string{"/compare?a=", "b=latest"} {
+		if !strings.Contains(historyHTML, want) {
+			t.Errorf("history page missing compare deep-link fragment %q", want)
+		}
+	}
+}

@@ -23,7 +23,7 @@ td, th { border: 1px solid #2c3440; padding: .25rem .6rem; text-align: left; }
 </head>
 <body>
 <h1>rtmac run history</h1>
-<p><a href="/">dashboard</a> &middot; <a href="/api/runs">/api/runs</a></p>
+<p><a href="/">dashboard</a> &middot; <a href="/compare">compare</a> &middot; <a href="/api/runs">/api/runs</a></p>
 <p id="empty" style="display:none"></p>
 <h2 id="runshead" style="display:none">Runs</h2>
 <table id="runs" style="display:none"></table>
@@ -50,13 +50,17 @@ async function refresh() {
   document.getElementById('empty').style.display = 'none';
   show('runshead'); show('runs');
   const rows = ['<tr><th>id</th><th>appended</th><th>kind</th><th>tool</th>' +
-    '<th>scenario</th><th>commit</th><th>seeds</th><th>points</th></tr>'];
+    '<th>scenario</th><th>commit</th><th>seeds</th><th>points</th><th>compare</th></tr>'];
   for (const run of h.runs.slice().reverse()) {
+    // Deep-link the compare page with this run as the baseline against the
+    // ledger head; the short ID is a resolvable prefix reference.
+    const cmp = '/compare?a=' + encodeURIComponent(run.short_id) + '&b=latest';
     rows.push('<tr><td>' + esc(run.short_id) + '</td><td>' + esc(run.appended || '') +
       '</td><td>' + esc(run.kind) + '</td><td>' + esc(run.tool || '') + '</td><td>' +
       esc(run.scenario || '') + '</td><td>' + esc(run.commit || '') +
       (run.dirty ? ' <span class="dirty">dirty</span>' : '') + '</td><td>' +
-      (run.seeds || 0) + '</td><td>' + run.points + '</td></tr>');
+      (run.seeds || 0) + '</td><td>' + run.points +
+      '</td><td><a href="' + cmp + '">vs latest</a></td></tr>');
   }
   document.getElementById('runs').innerHTML = rows.join('');
   const trajs = h.trajectories || [];

@@ -43,6 +43,10 @@ type Plane struct {
 	// GC/scheduler telemetry, watchdog verdict, profile-ring state). Opaque
 	// JSON again, so obs stays decoupled from internal/health.
 	health func() any
+	// compare, when set, produces the /api/compare document for two ledger
+	// references (the differential view of two recorded runs). Opaque JSON,
+	// decoupling obs from the ledger's diff schema.
+	compare func(refA, refB string) any
 }
 
 // SetLinksProvider installs the /api/links document source. A nil provider
@@ -52,6 +56,12 @@ func (p *Plane) SetLinksProvider(fn func() any) { p.links = fn }
 // SetRunsProvider installs the /api/runs document source. A nil provider
 // (or none) makes the endpoint answer 404.
 func (p *Plane) SetRunsProvider(fn func() any) { p.runs = fn }
+
+// SetCompareProvider installs the /api/compare document source. The provider
+// receives the two run references from the request's a= and b= query
+// parameters (defaulting to latest~1 and latest). A nil provider (or none)
+// makes the endpoint answer 404.
+func (p *Plane) SetCompareProvider(fn func(refA, refB string) any) { p.compare = fn }
 
 // SetHealthProvider installs the /api/health document source. Without one
 // the endpoint serves a minimal {"enabled": false} document — unlike links
@@ -78,7 +88,9 @@ func (p *Plane) Handler() http.Handler {
 	mux.HandleFunc("/api/links", p.handleLinks)
 	mux.HandleFunc("/api/runs", p.handleRuns)
 	mux.HandleFunc("/api/health", p.handleHealth)
+	mux.HandleFunc("/api/compare", p.handleCompare)
 	mux.HandleFunc("/history", p.handleHistory)
+	mux.HandleFunc("/compare", p.handleComparePage)
 	mux.HandleFunc("/events", p.handleEvents)
 	// The standard pprof endpoints, mounted explicitly because the plane uses
 	// its own mux rather than http.DefaultServeMux. /debug/pprof/profile
@@ -198,9 +210,34 @@ func (p *Plane) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+func (p *Plane) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if p.compare == nil {
+		http.Error(w, "no run ledger attached (run with -ledger DIR)", http.StatusNotFound)
+		return
+	}
+	refA, refB := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if refA == "" {
+		refA = "latest~1"
+	}
+	if refB == "" {
+		refB = "latest"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p.compare(refA, refB)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 func (p *Plane) handleHistory(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, historyHTML)
+}
+
+func (p *Plane) handleComparePage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, compareHTML)
 }
 
 func (p *Plane) handleEvents(w http.ResponseWriter, r *http.Request) {

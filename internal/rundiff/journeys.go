@@ -1,0 +1,330 @@
+package rundiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rtmac/internal/journey"
+	"rtmac/internal/stats"
+	"rtmac/internal/telemetry"
+)
+
+// JourneyDiff is the outcome of key-joining two journey streams on the
+// global arrival sequence number. Unlike event streams, journey streams are
+// sampled, so the two sides may legitimately cover different packets; the
+// join pairs the packets both sides recorded and the attribution decomposes
+// the endpoint delta over each side's full population.
+type JourneyDiff struct {
+	// Equal is strict stream equality: every journey matched and compared
+	// identical. This is the -check-equal criterion for same-sample runs.
+	Equal bool `json:"equal"`
+	// Matched counts seqs present on both sides; OnlyA/OnlyB count
+	// journeys the other side did not record (sampling skew or divergence).
+	Matched int64 `json:"matched"`
+	OnlyA   int64 `json:"only_a"`
+	OnlyB   int64 `json:"only_b"`
+	// First is the lowest-seq matched journey whose two recordings differ;
+	// nil when all matches agree.
+	First *JourneyMismatch `json:"first,omitempty"`
+	// PerLink holds both sides' terminal-cause attribution per link — the
+	// raw material of the delta decomposition. Indexed by link id.
+	PerLink []LinkAttribution `json:"per_link,omitempty"`
+	// TotalA / TotalB aggregate each side's attribution across links.
+	TotalA journey.Attribution `json:"total_a"`
+	TotalB journey.Attribution `json:"total_b"`
+	// Delay summarizes each side's delivered-packet delay quantiles (µs).
+	Delay DelayDelta `json:"delay"`
+}
+
+// JourneyMismatch is the first matched packet whose recorded lifecycles
+// differ between the sides.
+type JourneyMismatch struct {
+	Seq int64 `json:"seq"`
+	// A / B are the two recordings of the packet.
+	A journey.Journey `json:"a"`
+	B journey.Journey `json:"b"`
+	// Diffs lists the differing fields in rendering order.
+	Diffs []string `json:"diffs"`
+}
+
+// LinkAttribution pairs both sides' attribution for one link.
+type LinkAttribution struct {
+	Link int                 `json:"link"`
+	A    journey.Attribution `json:"a"`
+	B    journey.Attribution `json:"b"`
+}
+
+// DelayDelta holds streaming delay quantiles (µs) for delivered packets on
+// each side, computed with P² sketches in O(1) memory.
+type DelayDelta struct {
+	AP50   float64 `json:"a_p50"`
+	AP95   float64 `json:"a_p95"`
+	AP99   float64 `json:"a_p99"`
+	BP50   float64 `json:"b_p50"`
+	BP95   float64 `json:"b_p95"`
+	BP99   float64 `json:"b_p99"`
+	ACount int64   `json:"a_count"`
+	BCount int64   `json:"b_count"`
+}
+
+// DeliveryRatioA returns side A's delivered share (0 when empty).
+func (d *JourneyDiff) DeliveryRatioA() float64 { return ratio(d.TotalA.Delivered, d.TotalA.Total) }
+
+// DeliveryRatioB returns side B's delivered share (0 when empty).
+func (d *JourneyDiff) DeliveryRatioB() float64 { return ratio(d.TotalB.Delivered, d.TotalB.Total) }
+
+func ratio(n, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// CauseContribution is one per-link per-cause term of the endpoint delta
+// decomposition: the packet-count change of that cause on that link.
+type CauseContribution struct {
+	Link  int    `json:"link"`
+	Cause string `json:"cause"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	Delta int64  `json:"delta"`
+}
+
+// Contributions decomposes the endpoint delta into per-link per-cause
+// packet-count changes, largest absolute delta first (ties in link/cause
+// order for determinism). The delivered-count deltas sum exactly to the
+// change in total deliveries, which is what makes the decomposition an
+// attribution rather than a heuristic.
+func (d *JourneyDiff) Contributions() []CauseContribution {
+	var out []CauseContribution
+	for _, la := range d.PerLink {
+		for _, cause := range journey.Causes() {
+			a, b := la.A.Count(cause), la.B.Count(cause)
+			if a == b {
+				continue
+			}
+			out = append(out, CauseContribution{Link: la.Link, Cause: cause, A: a, B: b, Delta: b - a})
+		}
+	}
+	// Sort by |delta| descending, then link, then cause, without importing
+	// sort's interface machinery twice: simple insertion keeps it stable.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b CauseContribution) bool {
+	aa, ab := abs64(a.Delta), abs64(b.Delta)
+	if aa != ab {
+		return aa > ab
+	}
+	if a.Link != b.Link {
+		return a.Link < b.Link
+	}
+	return a.Cause < b.Cause
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// journeyReader streams one journey stream in seq order.
+type journeyReader struct {
+	dec     *json.Decoder
+	side    string
+	lastSeq int64
+	started bool
+}
+
+func newJourneyReader(r io.Reader, side string) (*journeyReader, error) {
+	lr := newLineReader(r)
+	if err := lr.readHeader(telemetry.JourneyStreamSchema, telemetry.JourneyStreamVersion); err != nil {
+		return nil, fmt.Errorf("rundiff: side %s: %w", side, err)
+	}
+	return &journeyReader{dec: json.NewDecoder(lr.r), side: side}, nil
+}
+
+// next returns the next journey, enforcing ascending seq (the key-join's
+// precondition; the tracer emits in seq order).
+func (jr *journeyReader) next() (*journey.Journey, error) {
+	var j journey.Journey
+	if err := jr.dec.Decode(&j); err == io.EOF {
+		return nil, nil
+	} else if err != nil {
+		return nil, fmt.Errorf("rundiff: side %s: %w", jr.side, err)
+	}
+	if jr.started && j.Seq <= jr.lastSeq {
+		return nil, fmt.Errorf("rundiff: side %s: journey stream not seq-sorted (%d after %d)",
+			jr.side, j.Seq, jr.lastSeq)
+	}
+	jr.started, jr.lastSeq = true, j.Seq
+	return &j, nil
+}
+
+// DiffJourneys merge-joins two journey streams on Seq and reports matched
+// mismatches plus both sides' per-link terminal-cause attribution and
+// delivered-delay quantiles. Memory is O(links), independent of stream
+// length; both streams are read exactly once.
+func DiffJourneys(a, b io.Reader, opts Options) (*JourneyDiff, error) {
+	ra, err := newJourneyReader(a, "a")
+	if err != nil {
+		return nil, err
+	}
+	rb, err := newJourneyReader(b, "b")
+	if err != nil {
+		return nil, err
+	}
+	skA, err := stats.NewQuantileSketch(0.50, 0.95, 0.99)
+	if err != nil {
+		return nil, err
+	}
+	skB, err := stats.NewQuantileSketch(0.50, 0.95, 0.99)
+	if err != nil {
+		return nil, err
+	}
+	diff := &JourneyDiff{}
+	perLink := map[int]*LinkAttribution{}
+	account := func(j *journey.Journey, side int) {
+		la := perLink[j.Link]
+		if la == nil {
+			la = &LinkAttribution{Link: j.Link}
+			perLink[j.Link] = la
+		}
+		if side == 0 {
+			la.A.Add(j.Cause)
+			diff.TotalA.Add(j.Cause)
+			if j.Cause == journey.CauseDelivered {
+				skA.Add(float64(j.Delay))
+			}
+		} else {
+			la.B.Add(j.Cause)
+			diff.TotalB.Add(j.Cause)
+			if j.Cause == journey.CauseDelivered {
+				skB.Add(float64(j.Delay))
+			}
+		}
+	}
+	ja, err := ra.next()
+	if err != nil {
+		return nil, err
+	}
+	jb, err := rb.next()
+	if err != nil {
+		return nil, err
+	}
+	for ja != nil || jb != nil {
+		switch {
+		case jb == nil || (ja != nil && ja.Seq < jb.Seq):
+			diff.OnlyA++
+			account(ja, 0)
+			if ja, err = ra.next(); err != nil {
+				return nil, err
+			}
+		case ja == nil || jb.Seq < ja.Seq:
+			diff.OnlyB++
+			account(jb, 1)
+			if jb, err = rb.next(); err != nil {
+				return nil, err
+			}
+		default: // equal seq: a matched packet
+			diff.Matched++
+			account(ja, 0)
+			account(jb, 1)
+			if diff.First == nil {
+				if diffs := journeyDiffs(ja, jb); len(diffs) > 0 {
+					diff.First = &JourneyMismatch{Seq: ja.Seq, A: *ja, B: *jb, Diffs: diffs}
+				}
+			}
+			if ja, err = ra.next(); err != nil {
+				return nil, err
+			}
+			if jb, err = rb.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	maxLink := -1
+	for l := range perLink {
+		if l > maxLink {
+			maxLink = l
+		}
+	}
+	for l := 0; l <= maxLink; l++ {
+		if la := perLink[l]; la != nil {
+			diff.PerLink = append(diff.PerLink, *la)
+		} else {
+			diff.PerLink = append(diff.PerLink, LinkAttribution{Link: l})
+		}
+	}
+	diff.Delay = DelayDelta{
+		AP50: skA.Quantile(0.50), AP95: skA.Quantile(0.95), AP99: skA.Quantile(0.99),
+		BP50: skB.Quantile(0.50), BP95: skB.Quantile(0.95), BP99: skB.Quantile(0.99),
+		ACount: skA.Count(), BCount: skB.Count(),
+	}
+	diff.Equal = diff.First == nil && diff.OnlyA == 0 && diff.OnlyB == 0
+	return diff, nil
+}
+
+// journeyDiffs compares two recordings of one packet field by field,
+// returning human-readable difference lines (empty when identical).
+func journeyDiffs(a, b *journey.Journey) []string {
+	var out []string
+	add := func(name string, va, vb any) {
+		out = append(out, fmt.Sprintf("%s: %v -> %v", name, va, vb))
+	}
+	if a.K != b.K {
+		add("k", a.K, b.K)
+	}
+	if a.Link != b.Link {
+		add("link", a.Link, b.Link)
+	}
+	if a.Idx != b.Idx {
+		add("idx", a.Idx, b.Idx)
+	}
+	if a.Arrived != b.Arrived {
+		add("arrived", int64(a.Arrived), int64(b.Arrived))
+	}
+	if a.Deadline != b.Deadline {
+		add("deadline", int64(a.Deadline), int64(b.Deadline))
+	}
+	if a.Prio != b.Prio {
+		add("prio", a.Prio, b.Prio)
+	}
+	if a.Cause != b.Cause {
+		add("cause", a.Cause, b.Cause)
+	}
+	if a.DoneAt != b.DoneAt {
+		add("done", int64(a.DoneAt), int64(b.DoneAt))
+	}
+	if a.Delay != b.Delay {
+		add("delay", int64(a.Delay), int64(b.Delay))
+	}
+	if len(a.Rounds) != len(b.Rounds) {
+		add("rounds", len(a.Rounds), len(b.Rounds))
+	} else {
+		for i := range a.Rounds {
+			if a.Rounds[i] != b.Rounds[i] {
+				add(fmt.Sprintf("round[%d]", i), a.Rounds[i], b.Rounds[i])
+				break
+			}
+		}
+	}
+	if len(a.Attempts) != len(b.Attempts) {
+		add("attempts", len(a.Attempts), len(b.Attempts))
+	} else {
+		for i := range a.Attempts {
+			if a.Attempts[i] != b.Attempts[i] {
+				add(fmt.Sprintf("attempt[%d]", i), a.Attempts[i], b.Attempts[i])
+				break
+			}
+		}
+	}
+	return out
+}

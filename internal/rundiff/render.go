@@ -1,0 +1,97 @@
+package rundiff
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteEventDiff renders an event-stream comparison as text: one line for
+// equality, or the divergence pointer with field deltas and both context
+// windows.
+func WriteEventDiff(w io.Writer, d *EventDiff) {
+	if d.Equal {
+		fmt.Fprintf(w, "equal: %d events byte-identical\n", d.Events)
+		return
+	}
+	div := d.Divergence
+	fmt.Fprintf(w, "diverged at event %d (%d equal before it)\n", div.Index, d.Events)
+	switch div.Missing() {
+	case "a":
+		fmt.Fprintf(w, "  side a ended at line %d; side b continues (line %d):\n", div.LineA, div.LineB)
+		fmt.Fprintf(w, "  b: %s\n", div.RawB)
+	case "b":
+		fmt.Fprintf(w, "  side b ended at line %d; side a continues (line %d):\n", div.LineB, div.LineA)
+		fmt.Fprintf(w, "  a: %s\n", div.RawA)
+	default:
+		fmt.Fprintf(w, "  k=%d link=%d kind=%s (a line %d, b line %d)\n",
+			div.K(), div.Link(), div.Kind(), div.LineA, div.LineB)
+		fmt.Fprintf(w, "  a: %s\n", div.RawA)
+		fmt.Fprintf(w, "  b: %s\n", div.RawB)
+		for _, f := range div.Fields {
+			fmt.Fprintf(w, "  field %s\n", f)
+		}
+	}
+	writeContext(w, "a", div.ContextA)
+	writeContext(w, "b", div.ContextB)
+}
+
+func writeContext(w io.Writer, side string, lines []string) {
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  context %s (%d preceding):\n", side, len(lines))
+	for _, l := range lines {
+		fmt.Fprintf(w, "    %s\n", l)
+	}
+}
+
+// WriteJourneyDiff renders a journey comparison: the join summary, the first
+// matched mismatch, and the per-link per-cause delta decomposition of the
+// endpoint delivery change.
+func WriteJourneyDiff(w io.Writer, d *JourneyDiff) {
+	if d.Equal {
+		fmt.Fprintf(w, "equal: %d journeys matched, none differ\n", d.Matched)
+		return
+	}
+	fmt.Fprintf(w, "journeys: %d matched, %d only in a, %d only in b\n", d.Matched, d.OnlyA, d.OnlyB)
+	if d.First != nil {
+		m := d.First
+		fmt.Fprintf(w, "first mismatch: seq %d (k=%d link=%d idx=%d)\n", m.Seq, m.A.K, m.A.Link, m.A.Idx)
+		for _, line := range m.Diffs {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	fmt.Fprintf(w, "delivery ratio: a %.4f (%d/%d)  b %.4f (%d/%d)  delta %+.4f\n",
+		d.DeliveryRatioA(), d.TotalA.Delivered, d.TotalA.Total,
+		d.DeliveryRatioB(), d.TotalB.Delivered, d.TotalB.Total,
+		d.DeliveryRatioB()-d.DeliveryRatioA())
+	if contribs := d.Contributions(); len(contribs) > 0 {
+		fmt.Fprintln(w, "attribution (per-link per-cause packet deltas, largest first):")
+		for _, c := range contribs {
+			fmt.Fprintf(w, "  link %d %-22s %4d -> %4d  (%+d)\n", c.Link, c.Cause, c.A, c.B, c.Delta)
+		}
+	}
+	if d.Delay.ACount > 0 || d.Delay.BCount > 0 {
+		fmt.Fprintf(w, "delivery delay (us): a p50=%.0f p95=%.0f p99=%.0f (n=%d)  b p50=%.0f p95=%.0f p99=%.0f (n=%d)\n",
+			d.Delay.AP50, d.Delay.AP95, d.Delay.AP99, d.Delay.ACount,
+			d.Delay.BP50, d.Delay.BP95, d.Delay.BP99, d.Delay.BCount)
+	}
+}
+
+// WriteCSVDiff renders a CSV comparison as text.
+func WriteCSVDiff(w io.Writer, d *CSVDiff) {
+	if d.Equal {
+		fmt.Fprintf(w, "equal: %d rows byte-identical\n", d.Rows)
+		return
+	}
+	switch {
+	case d.RawA == "":
+		fmt.Fprintf(w, "diverged at row %d: side a ended; b has: %s\n", d.Row, d.RawB)
+	case d.RawB == "":
+		fmt.Fprintf(w, "diverged at row %d: side b ended; a has: %s\n", d.Row, d.RawA)
+	default:
+		fmt.Fprintf(w, "diverged at row %d col %d: %q -> %q\n", d.Row, d.Col, d.FieldA, d.FieldB)
+		fmt.Fprintf(w, "  a: %s\n", d.RawA)
+		fmt.Fprintf(w, "  b: %s\n", d.RawB)
+	}
+}

@@ -130,6 +130,9 @@ type JSONL struct {
 }
 
 // NewJSONL returns a sink writing JSON Lines to w. Call Flush when done.
+// The first line written is the stream's schema header (EventStreamSchema);
+// DecodeJSONL and the rundiff tooling recognize it and refuse streams from
+// incompatible layouts, while still accepting headerless legacy streams.
 func NewJSONL(w io.Writer, opts ...JSONLOption) *JSONL {
 	bw := bufio.NewWriter(w)
 	j := &JSONL{
@@ -140,6 +143,10 @@ func NewJSONL(w io.Writer, opts ...JSONLOption) *JSONL {
 	}
 	for _, opt := range opts {
 		opt(j)
+	}
+	header := StreamHeader{Schema: EventStreamSchema, Version: EventStreamVersion}
+	if _, err := bw.Write(header.MarshalLine()); err != nil {
+		j.err = fmt.Errorf("telemetry: event stream: %w", err)
 	}
 	return j
 }
@@ -182,15 +189,32 @@ func (j *JSONL) Flush() error {
 }
 
 // DecodeJSONL parses a JSONL event stream back into events — the read side
-// of the round trip, used by tests and analysis tooling.
+// of the round trip, used by tests and analysis tooling. A leading schema
+// header line (written by NewJSONL) is validated and skipped; headerless
+// legacy streams decode as before. A header carrying a different schema or
+// an unsupported version is an error, not a zero-valued event.
 func DecodeJSONL(r io.Reader) ([]Event, error) {
 	dec := json.NewDecoder(r)
 	var out []Event
+	first := true
 	for {
-		var ev Event
-		if err := dec.Decode(&ev); err == io.EOF {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
 			return out, nil
 		} else if err != nil {
+			return out, fmt.Errorf("telemetry: decode event %d: %w", len(out), err)
+		}
+		if first {
+			first = false
+			if h, ok := ParseHeader(raw); ok {
+				if err := h.Check(EventStreamSchema, EventStreamVersion); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
 			return out, fmt.Errorf("telemetry: decode event %d: %w", len(out), err)
 		}
 		out = append(out, ev)

@@ -116,6 +116,19 @@ type Config struct {
 	// Fading, when non-nil, replaces the static channel with a
 	// Gilbert–Elliott fading model (per-link SuccessProb is then ignored).
 	Fading *Fading
+	// Perturb, when non-nil, injects extra packet arrivals into exactly one
+	// interval without consuming any RNG draws, so the run stays
+	// byte-identical to the unperturbed one until that interval. It exists
+	// to exercise rundiff's first-divergence pointer deterministically.
+	Perturb *Perturbation
+}
+
+// Perturbation is a one-off fault injection: Extra additional arrivals on
+// Link at interval K (0-based). Extra defaults to 1 when zero.
+type Perturbation struct {
+	K     int64
+	Link  int
+	Extra int
 }
 
 // Simulation is one running network instance.
@@ -173,6 +186,17 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rtmac: %w", err)
 	}
+	var arrivals arrival.VectorProcess = av
+	if p := cfg.Perturb; p != nil {
+		extra := p.Extra
+		if extra == 0 {
+			extra = 1
+		}
+		arrivals, err = arrival.NewPerturb(av, p.K, p.Link, extra)
+		if err != nil {
+			return nil, fmt.Errorf("rtmac: %w", err)
+		}
+	}
 	var colOpts []metrics.Option
 	if cfg.SnapshotEvery > 0 {
 		colOpts = append(colOpts, metrics.WithSeries(cfg.SnapshotEvery))
@@ -188,7 +212,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	nwCfg := mac.NetworkConfig{
 		Seed:      cfg.Seed,
 		Profile:   cfg.Profile.p,
-		Arrivals:  av,
+		Arrivals:  arrivals,
 		Required:  req,
 		Protocol:  prot,
 		Observers: []mac.Observer{col},

@@ -1,0 +1,135 @@
+package rtmac_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rtmac"
+	"rtmac/internal/rundiff"
+)
+
+// perturbedStream runs the control scenario and returns its event stream,
+// optionally with one injected extra arrival at interval k on the given
+// link. The perturbation consumes no RNG draws, so the stream is
+// byte-identical to the baseline up to interval k by construction.
+func perturbedStream(t *testing.T, seed uint64, intervals int, perturb *rtmac.Perturbation) []byte {
+	t.Helper()
+	links := make([]rtmac.Link, 10)
+	for i := range links {
+		links[i] = rtmac.Link{
+			SuccessProb:   0.7,
+			Arrivals:      rtmac.MustBernoulliArrivals(0.78),
+			DeliveryRatio: 0.99,
+		}
+	}
+	s, err := rtmac.NewSimulation(rtmac.Config{
+		Seed:     seed,
+		Profile:  rtmac.ControlProfile(),
+		Links:    links,
+		Protocol: rtmac.DBDP(),
+		Perturb:  perturb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	stream := s.StreamEvents(&buf)
+	if err := s.Run(intervals); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRundiffPerturbationSweep is the acceptance gate for the differential
+// explainer: for every swept perturbation point, diffing the baseline
+// against the perturbed run must report a first divergent event inside
+// exactly the perturbed interval — on both sides, since every interval
+// before it is byte-identical by construction. A pointer landing on any
+// other interval would mean the injection leaked RNG draws (streams diverge
+// early) or the differ mis-aligned the streams (diverge late).
+func TestRundiffPerturbationSweep(t *testing.T) {
+	const intervals = 40
+	base := perturbedStream(t, 7, intervals, nil)
+	for _, k := range []int64{0, 3, 17, 39} {
+		pert := perturbedStream(t, 7, intervals, &rtmac.Perturbation{K: k, Link: 2, Extra: 1})
+		d, err := rundiff.DiffEvents(bytes.NewReader(base), bytes.NewReader(pert), rundiff.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if d.Equal {
+			t.Fatalf("k=%d: perturbed run compared equal to baseline", k)
+		}
+		div := d.Divergence
+		if div.K() != k {
+			t.Errorf("k=%d: first divergence at interval %d kind=%s link=%d, want interval %d",
+				k, div.K(), div.Kind(), div.Link(), k)
+		}
+		if div.A == nil || div.B == nil {
+			t.Fatalf("k=%d: divergent lines did not decode (a=%v b=%v)", k, div.A, div.B)
+		}
+		if div.A.K != k || div.B.K != k {
+			t.Errorf("k=%d: sides disagree on divergence interval (a k=%d, b k=%d)",
+				k, div.A.K, div.B.K)
+		}
+		if div.Kind() == "" {
+			t.Errorf("k=%d: divergence without event kind", k)
+		}
+	}
+}
+
+// TestRundiffPerturbedJourneys pins the attribution path end-to-end: the
+// perturbed run records one more packet on the perturbed link, and the
+// journey key-join must surface it as an unmatched or mismatched journey
+// with per-link attribution totals differing by exactly that packet.
+func TestRundiffPerturbedJourneys(t *testing.T) {
+	run := func(perturb *rtmac.Perturbation) []byte {
+		links := make([]rtmac.Link, 6)
+		for i := range links {
+			links[i] = rtmac.Link{
+				SuccessProb:   0.7,
+				Arrivals:      rtmac.MustBernoulliArrivals(0.5),
+				DeliveryRatio: 0.9,
+			}
+		}
+		s, err := rtmac.NewSimulation(rtmac.Config{
+			Seed:     11,
+			Profile:  rtmac.ControlProfile(),
+			Links:    links,
+			Protocol: rtmac.DBDP(),
+			Perturb:  perturb,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		js, err := s.EnableJourneys(&buf, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(30); err != nil {
+			t.Fatal(err)
+		}
+		if err := js.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := run(nil)
+	pert := run(&rtmac.Perturbation{K: 5, Link: 3, Extra: 1})
+	d, err := rundiff.DiffJourneys(bytes.NewReader(base), bytes.NewReader(pert), rundiff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Equal {
+		t.Fatal("perturbed journeys compared equal")
+	}
+	if got := d.TotalB.Total - d.TotalA.Total; got != 1 {
+		t.Errorf("journey total delta %d, want 1 (the injected packet)", got)
+	}
+	if len(d.PerLink) <= 3 {
+		t.Fatalf("per-link attribution covers %d links, want at least 4", len(d.PerLink))
+	}
+}

@@ -94,9 +94,10 @@ func (s *Simulation) linkBoard() LinkBoard {
 }
 
 // ServeRunLedger attaches the run ledger at dir to the plane's /api/runs
-// endpoint and /history page. Each request re-reads the ledger, so records
-// appended after the server starts — including this run's own, appended when
-// it finishes — show up without a restart.
+// endpoint and /history page, plus /api/compare and the /compare page (the
+// differential view of any two recorded runs). Each request re-reads the
+// ledger, so records appended after the server starts — including this run's
+// own, appended when it finishes — show up without a restart.
 func (o *Observability) ServeRunLedger(dir string) error {
 	store, err := ledger.Open(dir)
 	if err != nil {
@@ -108,6 +109,13 @@ func (o *Observability) ServeRunLedger(dir string) error {
 			return &ledger.History{Enabled: true, Dir: store.Dir()}
 		}
 		return h
+	})
+	o.plane.SetCompareProvider(func(refA, refB string) any {
+		c, err := ledger.BuildCompare(store, refA, refB, ledger.DiffOptions{})
+		if err != nil {
+			return &ledger.Compare{Enabled: true, Dir: store.Dir(), Error: err.Error()}
+		}
+		return c
 	})
 	return nil
 }

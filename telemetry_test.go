@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rtmac"
+	"rtmac/internal/rundiff"
 	"rtmac/internal/telemetry"
 )
 
@@ -51,8 +52,20 @@ func TestEventStreamDeterminism(t *testing.T) {
 	if len(a) == 0 {
 		t.Fatal("event stream empty")
 	}
+	// rundiff -check-equal semantics enforce the contract: equality must be
+	// byte-exact, and a breach names its first divergent event rather than
+	// just "streams differ".
+	d, err := rundiff.DiffEvents(bytes.NewReader(a), bytes.NewReader(b), rundiff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal {
+		div := d.Divergence
+		t.Fatalf("same-seed event streams differ at event %d: k=%d link=%d kind=%s\n  a: %s\n  b: %s",
+			div.Index, div.K(), div.Link(), div.Kind(), div.RawA, div.RawB)
+	}
 	if !bytes.Equal(a, b) {
-		t.Fatal("same-seed event streams differ byte-for-byte")
+		t.Fatal("rundiff reported equality but raw bytes differ (header handling bug)")
 	}
 	// A different seed must produce a different trajectory — otherwise the
 	// determinism above would be vacuous.
