@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke serve-smoke journeys-smoke ledger-smoke health-smoke rundiff-smoke fuzz cover clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke conflict-smoke serve-smoke journeys-smoke ledger-smoke health-smoke rundiff-smoke fuzz cover clean
 
 all: build vet test
 
@@ -72,6 +72,25 @@ monitor-smoke:
 	$(GO) run ./cmd/rtmacsim -checkevents /tmp/rtmac-monitor-events.jsonl
 	$(GO) run ./cmd/rtmacsim -checkevents /tmp/rtmac-flight.jsonl
 	test -s /tmp/rtmac-flight.jsonl.txt
+
+# End-to-end check of the conflict-graph medium: the two-clique spatial-reuse
+# scenario must run invariant-clean under the strict monitor, both the full
+# event stream and the flight-recorder dump must pass the offline audit
+# (which re-infers the conflict graph from the pinned conflict events), and
+# the run must actually reuse the channel — aggregate data airtime above one
+# interval's budget with zero collisions.
+conflict-smoke:
+	$(GO) run ./cmd/rtmacsim -config scenarios/spatial.json \
+		-monitor -strict \
+		-flightrecorder /tmp/rtmac-conflict-flight.jsonl \
+		-events /tmp/rtmac-conflict-events.jsonl | tee /tmp/rtmac-conflict.out
+	grep -q '^conflicts(10 links, 20 edges)' /tmp/rtmac-conflict.out
+	grep -q 'no invariant violations' /tmp/rtmac-conflict.out
+	grep -q ', 0 collided,' /tmp/rtmac-conflict.out
+	grep -Eq '^airtime: 1[0-9][0-9]\.[0-9]% data' /tmp/rtmac-conflict.out
+	$(GO) run ./cmd/rtmacsim -checkevents /tmp/rtmac-conflict-events.jsonl
+	$(GO) run ./cmd/rtmacsim -checkevents /tmp/rtmac-conflict-flight.jsonl
+	test -s /tmp/rtmac-conflict-flight.jsonl.txt
 
 # End-to-end check of the live HTTP observability plane: start a -serve run
 # in the background, curl every endpoint, validate the scrape with the
@@ -177,6 +196,7 @@ rundiff-smoke:
 
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario
+	$(GO) test -fuzz=FuzzDecodeTopology -fuzztime=30s ./scenario
 	$(GO) test -fuzz=FuzzRankUnrank -fuzztime=30s ./internal/perm
 	$(GO) test -fuzz=FuzzAdjacentSwapCodec -fuzztime=30s ./internal/perm
 	$(GO) test -fuzz=FuzzValidatePrometheus -fuzztime=30s ./internal/telemetry

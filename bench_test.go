@@ -103,6 +103,40 @@ func BenchmarkIntervalLDF(b *testing.B)   { benchProtocolIntervals(b, rtmac.LDF(
 func BenchmarkIntervalFCSMA(b *testing.B) { benchProtocolIntervals(b, rtmac.FCSMA()) }
 func BenchmarkIntervalDCF(b *testing.B)   { benchProtocolIntervals(b, rtmac.DCF()) }
 
+// BenchmarkIntervalConflictGraph prices the spatial-reuse medium: the same
+// control workload as BenchmarkIntervalDBDP, but on a two-clique conflict
+// graph so the per-neighborhood contention clock, the local DP backoff ranks,
+// and the medium's neighborhood busy counters are all on the hot path.
+// Compare against BenchmarkIntervalDBDP for the graph-mode overhead.
+func BenchmarkIntervalConflictGraph(b *testing.B) {
+	conflicts, err := rtmac.CliqueConflicts(10, [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	links := make([]rtmac.Link, 10)
+	for i := range links {
+		links[i] = rtmac.Link{
+			SuccessProb:   0.7,
+			Arrivals:      rtmac.MustBernoulliArrivals(0.78),
+			DeliveryRatio: 0.99,
+		}
+	}
+	s, err := rtmac.NewSimulation(rtmac.Config{
+		Seed:      1,
+		Profile:   rtmac.ControlProfile(),
+		Links:     links,
+		Conflicts: conflicts,
+		Protocol:  rtmac.DBDP(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := s.Run(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkIntervalDBDPLargeNetwork stresses the video scenario with 20
 // bursty links per interval.
 func BenchmarkIntervalDBDPLargeNetwork(b *testing.B) {

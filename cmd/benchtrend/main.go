@@ -57,27 +57,36 @@ type Report struct {
 	Results   []Result `json:"results"`
 }
 
-// protocols lists the measured policies; the order is the report order.
+// protocols lists the measured policies; the order is the report order. A
+// non-nil conflicts graph runs the workload on the spatial-reuse medium
+// (dbdp-conflict prices the graph-mode hot path against plain dbdp).
 func protocols() []struct {
-	name string
-	p    rtmac.Protocol
+	name      string
+	p         rtmac.Protocol
+	conflicts *rtmac.ConflictGraph
 } {
+	twoCliques, err := rtmac.CliqueConflicts(10, [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}})
+	if err != nil {
+		fatal(err)
+	}
 	return []struct {
-		name string
-		p    rtmac.Protocol
+		name      string
+		p         rtmac.Protocol
+		conflicts *rtmac.ConflictGraph
 	}{
-		{"dbdp", rtmac.DBDP()},
-		{"ldf", rtmac.LDF()},
-		{"fcsma", rtmac.FCSMA()},
-		{"framecsma", rtmac.FrameCSMA()},
-		{"tdma", rtmac.TDMA()},
-		{"dcf", rtmac.DCF()},
+		{"dbdp", rtmac.DBDP(), nil},
+		{"ldf", rtmac.LDF(), nil},
+		{"fcsma", rtmac.FCSMA(), nil},
+		{"framecsma", rtmac.FrameCSMA(), nil},
+		{"tdma", rtmac.TDMA(), nil},
+		{"dcf", rtmac.DCF(), nil},
+		{"dbdp-conflict", rtmac.DBDP(), twoCliques},
 	}
 }
 
 // benchProtocol measures one protocol: each b.N is a simulated interval on
 // the control scenario, mirroring BenchmarkIntervalDBDP and friends.
-func benchProtocol(p rtmac.Protocol) func(b *testing.B) {
+func benchProtocol(p rtmac.Protocol, conflicts *rtmac.ConflictGraph) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
 		links := make([]rtmac.Link, 10)
@@ -89,10 +98,11 @@ func benchProtocol(p rtmac.Protocol) func(b *testing.B) {
 			}
 		}
 		s, err := rtmac.NewSimulation(rtmac.Config{
-			Seed:     1,
-			Profile:  rtmac.ControlProfile(),
-			Links:    links,
-			Protocol: p,
+			Seed:      1,
+			Profile:   rtmac.ControlProfile(),
+			Links:     links,
+			Conflicts: conflicts,
+			Protocol:  p,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -116,7 +126,7 @@ func buildReport(now time.Time, benchtime time.Duration) Report {
 		Scenario:  "control profile, 10 links, Bernoulli 0.78, ratio 0.99, seed 1",
 	}
 	for _, pr := range protocols() {
-		res := testing.Benchmark(benchProtocol(pr.p))
+		res := testing.Benchmark(benchProtocol(pr.p, pr.conflicts))
 		ns := float64(res.T.Nanoseconds()) / float64(res.N)
 		entry := Result{
 			Protocol:      pr.name,

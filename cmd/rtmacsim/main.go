@@ -203,6 +203,9 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 	if err != nil {
 		fatal(err)
 	}
+	if cfg.Conflicts != nil {
+		fmt.Printf("%s\n", cfg.Conflicts)
+	}
 	var tr *rtmac.Trace
 	if showTimeline || traceLogPath != "" {
 		capacity := traceLogCap

@@ -23,6 +23,12 @@ import (
 // benchmarks: 10 links, Bernoulli 0.78 arrivals, 99% delivery ratio.
 func newHotPathSim(t *testing.T, protocol rtmac.Protocol) *rtmac.Simulation {
 	t.Helper()
+	return newHotPathSimConflicts(t, protocol, nil)
+}
+
+// newHotPathSimConflicts is newHotPathSim with an explicit conflict graph.
+func newHotPathSimConflicts(t *testing.T, protocol rtmac.Protocol, conflicts *rtmac.ConflictGraph) *rtmac.Simulation {
+	t.Helper()
 	links := make([]rtmac.Link, 10)
 	for i := range links {
 		links[i] = rtmac.Link{
@@ -32,15 +38,27 @@ func newHotPathSim(t *testing.T, protocol rtmac.Protocol) *rtmac.Simulation {
 		}
 	}
 	s, err := rtmac.NewSimulation(rtmac.Config{
-		Seed:     1,
-		Profile:  rtmac.ControlProfile(),
-		Links:    links,
-		Protocol: protocol,
+		Seed:      1,
+		Profile:   rtmac.ControlProfile(),
+		Links:     links,
+		Conflicts: conflicts,
+		Protocol:  protocol,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// hotPathConflicts returns the two-clique spatial-reuse graph the
+// conflict-path guards and benchmarks run under.
+func hotPathConflicts(t *testing.T) *rtmac.ConflictGraph {
+	t.Helper()
+	g, err := rtmac.CliqueConflicts(10, [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
 }
 
 // hotPathProtocols lists every policy whose interval loop must stay
@@ -79,6 +97,46 @@ func TestHotPathZeroAlloc(t *testing.T) {
 				t.Errorf("%s: %.1f allocs per steady-state interval, want 0", name, allocs)
 			}
 		})
+	}
+}
+
+// TestHotPathZeroAllocConflictGraph extends the zero-allocation contract to
+// the conflict-graph medium: both the complete graph (which must ride the
+// exact legacy code paths) and a genuinely sparse two-clique graph (which
+// exercises the per-neighborhood contention clock, the graph-mode protocol
+// branches, and the medium's neighborhood busy counters) must stay
+// allocation-free per interval once warm, with observability disabled.
+func TestHotPathZeroAllocConflictGraph(t *testing.T) {
+	const (
+		warmup = 200
+		runs   = 100
+	)
+	complete, err := rtmac.CompleteConflicts(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*rtmac.ConflictGraph{
+		"complete":   complete,
+		"two-clique": hotPathConflicts(t),
+	}
+	for gName, graph := range graphs {
+		for pName, protocol := range hotPathProtocols() {
+			t.Run(gName+"/"+pName, func(t *testing.T) {
+				s := newHotPathSimConflicts(t, protocol, graph)
+				if err := s.Run(warmup); err != nil {
+					t.Fatal(err)
+				}
+				allocs := testing.AllocsPerRun(runs, func() {
+					if err := s.Run(1); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("%s/%s: %.1f allocs per steady-state interval, want 0",
+						gName, pName, allocs)
+				}
+			})
+		}
 	}
 }
 

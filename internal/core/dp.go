@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rtmac/internal/mac"
+	"rtmac/internal/medium"
 	"rtmac/internal/perm"
 	"rtmac/internal/sim"
 )
@@ -94,6 +96,18 @@ type Protocol struct {
 	swaps int64
 	// swapHook, when set, observes every swap decision (telemetry).
 	swapHook mac.SwapHook
+	// graph/local describe the per-neighborhood mode: on a non-complete
+	// conflict graph each link's backoff counter is its local priority rank
+	// within its closed neighborhood (links in disjoint neighborhoods reuse
+	// the same early slots — spatial reuse), and swaps are decided by the
+	// candidates' coins alone. The paper's carrier-sense handshake (Eqs.
+	// 7/8) assumes every device hears every other; under partial
+	// interference the candidates of a pair may not conflict at all, so the
+	// sensing-based agreement is replaced by the coin-only rule
+	// swap ⇔ ξ_down = −1 ∧ ξ_up = +1 — the same stationary swap dynamics,
+	// minus the over-the-air confirmation (see DESIGN.md).
+	graph *medium.Graph
+	local bool
 }
 
 // SetSwapHook installs an observer invoked once per swap pair at each
@@ -186,20 +200,29 @@ func (p *Protocol) Swaps() int64 { return p.swaps }
 func (p *Protocol) BeginInterval(ctx *mac.Context) {
 	n := ctx.Links()
 	p.active = p.active[:0]
+	if g := ctx.Med.Graph(); g != nil && !g.Complete() {
+		p.graph, p.local = g, true
+	} else {
+		p.graph, p.local = nil, false
+	}
 
 	if !p.frozen && n >= 2 {
 		p.selectPairs(ctx)
 	}
 
 	// Step 2: swap candidates without traffic queue an empty frame so their
-	// priority claim is audible.
-	for i := range p.active {
-		ps := &p.active[i]
-		if ctx.Pending(ps.down) == 0 {
-			ctx.QueueEmptyFrame(ps.down)
-		}
-		if ctx.Pending(ps.up) == 0 {
-			ctx.QueueEmptyFrame(ps.up)
+	// priority claim is audible. Local mode decides swaps from coins alone,
+	// so no empty-frame claims are needed (and forcing them would waste
+	// airtime in neighborhoods the candidates do not even share).
+	if !p.local {
+		for i := range p.active {
+			ps := &p.active[i]
+			if ctx.Pending(ps.down) == 0 {
+				ctx.QueueEmptyFrame(ps.down)
+			}
+			if ctx.Pending(ps.up) == 0 {
+				ctx.QueueEmptyFrame(ps.up)
+			}
 		}
 	}
 
@@ -221,15 +244,22 @@ func (p *Protocol) BeginInterval(ctx *mac.Context) {
 			p.senseFns[link] = func(busy bool) { p.applySense(link, busy) }
 		}
 	}
-	backoffs := p.computeBackoffs(n)
+	var backoffs []int
+	if p.local {
+		backoffs = p.computeLocalBackoffs(n)
+	} else {
+		backoffs = p.computeBackoffs(n)
+	}
 	cont := ctx.Contention()
 	for link := 0; link < n; link++ {
 		if !ctx.HasTraffic(link) {
 			continue
 		}
 		contender := mac.Contender{Fire: p.fireFns[link]}
-		if hook := p.sensingHook(link); hook != nil {
-			contender.ReachedOne = hook
+		if !p.local {
+			if hook := p.sensingHook(link); hook != nil {
+				contender.ReachedOne = hook
+			}
 		}
 		cont.Add(link, backoffs[link], contender)
 	}
@@ -366,6 +396,35 @@ func (p *Protocol) computeBackoffs(n int) []int {
 	return backoffs
 }
 
+// computeLocalBackoffs assigns per-neighborhood backoff counters: link n's
+// counter is the number of links in its closed conflict neighborhood holding
+// a strictly higher priority (lower σ value). Within any clique this is the
+// paper's rank-based Eq. 6 assignment (minus swap windows), so counters stay
+// injective among mutually-conflicting links; links in disjoint neighborhoods
+// share early counter values and transmit concurrently — the spatial reuse a
+// partial conflict graph affords.
+func (p *Protocol) computeLocalBackoffs(n int) []int {
+	if cap(p.backoffs) < n {
+		p.backoffs = make([]int, n)
+	}
+	backoffs := p.backoffs[:n]
+	for link := 0; link < n; link++ {
+		rank := 0
+		row := p.graph.ClosedRow(link)
+		for w, word := range row {
+			for word != 0 {
+				j := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if j != link && p.prio[j] < p.prio[link] {
+					rank++
+				}
+			}
+		}
+		backoffs[link] = rank
+	}
+	return backoffs
+}
+
 // sensingHook returns the carrier-sensing callback a candidate installs for
 // the instant its backoff timer reaches one, or nil when the link's coin
 // makes sensing irrelevant. The callback itself is the link's prebuilt
@@ -414,7 +473,7 @@ func (p *Protocol) fire(ctx *mac.Context, link int) bool {
 	started := false
 	if ctx.Pending(link) > 0 {
 		started = ctx.TransmitData(link, p.dataDoneFns[link])
-		if !started && p.isCandidate(link) {
+		if !started && !p.local && p.isCandidate(link) {
 			started = ctx.ForceEmptyFrame(link, nil)
 		}
 	} else if ctx.HasEmptyFrame(link) {
@@ -463,17 +522,26 @@ func (p *Protocol) markStarted(link int) {
 func (p *Protocol) EndInterval(ctx *mac.Context) {
 	for i := range p.active {
 		ps := &p.active[i]
-		swapDown := ps.xiDown == -1 && ps.downSensedBusy
-		swapUp := ps.xiUp == 1 && ps.upSensedIdle && ps.upStarted
-		if swapDown != swapUp {
-			// By construction these two local decisions observe the same
-			// boundary events; disagreement means the simulation violated
-			// the protocol's coordination invariant.
-			panic(fmt.Sprintf(
-				"core: inconsistent swap at priority %d: down(link %d)=%v up(link %d)=%v",
-				ps.c, ps.down, swapDown, ps.up, swapUp))
+		var swap bool
+		if p.local {
+			// Per-neighborhood mode: the candidates of a pair may not share a
+			// neighborhood, so the Eq. 7/8 sensing handshake carries no signal.
+			// The swap commits on the coins alone.
+			swap = ps.xiDown == -1 && ps.xiUp == 1
+		} else {
+			swapDown := ps.xiDown == -1 && ps.downSensedBusy
+			swapUp := ps.xiUp == 1 && ps.upSensedIdle && ps.upStarted
+			if swapDown != swapUp {
+				// By construction these two local decisions observe the same
+				// boundary events; disagreement means the simulation violated
+				// the protocol's coordination invariant.
+				panic(fmt.Sprintf(
+					"core: inconsistent swap at priority %d: down(link %d)=%v up(link %d)=%v",
+					ps.c, ps.down, swapDown, ps.up, swapUp))
+			}
+			swap = swapDown
 		}
-		if swapDown {
+		if swap {
 			// In-place adjacent transposition (what SwapAtPriority does,
 			// minus the clone), with the inverse kept in lockstep.
 			p.prio[ps.down] = ps.c + 1
@@ -483,7 +551,7 @@ func (p *Protocol) EndInterval(ctx *mac.Context) {
 			p.swaps++
 		}
 		if p.swapHook != nil {
-			p.swapHook(ctx.K, ctx.End, ps.c, ps.down, ps.up, swapDown)
+			p.swapHook(ctx.K, ctx.End, ps.c, ps.down, ps.up, swap)
 		}
 	}
 	p.active = p.active[:0]

@@ -72,6 +72,17 @@ type Contention struct {
 	senseObs func(link int, busy bool)
 	// scratch reused by processBoundary.
 	fired, sensed []int
+	// Conflict-graph (spatial-reuse) mode, active when the medium carries a
+	// non-complete conflict graph. Each link counts down on its own slot
+	// grid, anchored at anchors[link] (interval join or the instant its
+	// neighborhood went idle), and freezes independently while its
+	// neighborhood is busy (frozen[link]). The engine clock is armed at the
+	// global minimum of the per-link interesting boundaries. A complete (or
+	// absent) graph uses the seed single-grid path above, byte-identically.
+	graph      *medium.Graph
+	anchors    []sim.Time
+	frozen     []bool
+	inBoundary bool
 }
 
 // NewContention creates a coordinator for the given medium with the given
@@ -90,6 +101,17 @@ func NewContention(eng *sim.Engine, med *medium.Medium, slot sim.Time) (*Content
 		entries: make([]contentionEntry, med.Links()),
 		fired:   make([]int, 0, med.Links()),
 		sensed:  make([]int, 0, med.Links()),
+	}
+	if g := med.Graph(); g != nil && !g.Complete() {
+		c.graph = g
+		c.anchors = make([]sim.Time, med.Links())
+		c.frozen = make([]bool, med.Links())
+		// Per-link countdown grids with per-neighborhood freezing: the clock
+		// dispatches to the graph boundary walk and carrier sensing arrives
+		// per link.
+		eng.SetClockFunc(c.onBoundaryGraph)
+		med.SubscribeLinks(c)
+		return c, nil
 	}
 	// The slot boundary rides the engine's out-of-heap slot clock: one
 	// recurring timer re-armed every idle slot would otherwise dominate heap
@@ -121,6 +143,20 @@ func (c *Contention) Add(link, counter int, contender Contender) {
 	}
 	if contender.Fire == nil {
 		panic(fmt.Sprintf("mac: link %d contender without Fire", link))
+	}
+	if c.graph != nil {
+		c.entries[link] = contentionEntry{counter: counter, active: true, contender: contender}
+		c.active++
+		c.anchors[link] = c.eng.Now()
+		c.frozen[link] = c.med.BusyFor(link)
+		if c.backoffHist != nil {
+			c.backoffHist.Observe(float64(counter))
+		}
+		if c.backoffObs != nil {
+			c.backoffObs(link, counter)
+		}
+		c.rearmGraph()
+		return
 	}
 	// Materialize boundaries that already elapsed before the entry joins, so
 	// the bulk decrement never back-applies them to it.
@@ -169,6 +205,10 @@ func (c *Contention) SetSenseObserver(fn func(link int, busy bool)) { c.senseObs
 // that initial zero counters fire simultaneously (and collide) rather than
 // in registration order.
 func (c *Contention) Settle() {
+	if c.graph != nil {
+		c.settleGraph()
+		return
+	}
 	if c.med.Busy() {
 		return
 	}
@@ -182,6 +222,11 @@ func (c *Contention) Remove(link int) {
 	}
 	c.entries[link] = contentionEntry{}
 	c.active--
+	if c.graph != nil {
+		c.frozen[link] = false
+		c.rearmGraph()
+		return
+	}
 	if c.active == 0 {
 		c.disarm()
 	}
@@ -194,6 +239,15 @@ func (c *Contention) Clear() {
 		c.entries[i] = contentionEntry{}
 	}
 	c.active = 0
+	if c.graph != nil {
+		for i := range c.frozen {
+			c.frozen[i] = false
+		}
+		if c.eng.ClockArmed() {
+			c.eng.DisarmClock()
+		}
+		return
+	}
 	c.disarm()
 }
 
@@ -206,6 +260,10 @@ func (c *Contention) Active() int { return c.active }
 func (c *Contention) Counter(link int) (int, bool) {
 	if link < 0 || link >= len(c.entries) || !c.entries[link].active {
 		return 0, false
+	}
+	if c.graph != nil {
+		c.materialize(link, c.eng.Now())
+		return c.entries[link].counter, true
 	}
 	c.sync()
 	return c.entries[link].counter, true
@@ -388,4 +446,185 @@ func (c *Contention) finishBoundary() {
 	// will re-arm once the firing links release the channel.
 }
 
+// --- Conflict-graph (spatial-reuse) mode -----------------------------------
+//
+// With a non-complete conflict graph there is no single countdown grid:
+// links in disjoint neighborhoods freeze and resume independently, so each
+// entry carries its own grid anchor. The engine clock is armed at the global
+// minimum over unfrozen entries of anchor + horizon·slot; everything the
+// clock skips is, per link, a pure decrement applied in bulk when the link
+// is next touched (boundary, freeze, or Counter read).
+
+// materialize applies link's elapsed grid boundaries up to now: advances the
+// anchor to the last boundary at or before now and bulk-decrements the
+// counter. By construction of the armed target no fire or sense boundary is
+// ever skipped, so the decrements are pure. Frozen links don't count down.
+func (c *Contention) materialize(link int, now sim.Time) {
+	if c.frozen[link] {
+		return
+	}
+	e := &c.entries[link]
+	if k := int((now - c.anchors[link]) / c.slot); k > 0 {
+		c.anchors[link] += sim.Time(k) * c.slot
+		if e.counter > 0 {
+			if e.counter -= k; e.counter < 0 {
+				e.counter = 0
+			}
+		}
+	}
+}
+
+// rearmGraph points the engine clock at the earliest interesting boundary
+// over all active unfrozen entries, or disarms it when there is none.
+func (c *Contention) rearmGraph() {
+	best := sim.Time(-1)
+	for link := range c.entries {
+		e := &c.entries[link]
+		if !e.active || c.frozen[link] {
+			continue
+		}
+		at := c.anchors[link] + sim.Time(horizon(e))*c.slot
+		if best < 0 || at < best {
+			best = at
+		}
+	}
+	armed := c.eng.ClockArmed()
+	if best < 0 {
+		if armed {
+			c.eng.DisarmClock()
+		}
+		return
+	}
+	if armed {
+		if c.target == best {
+			return
+		}
+		c.eng.DisarmClock()
+	}
+	c.target = best
+	c.eng.ArmClock(best)
+}
+
+// onBoundaryGraph is the graph-mode clock callback: materialize every
+// unfrozen entry and classify the ones whose own grid has a boundary at this
+// exact instant (anchors land on now only then — entries that joined at now
+// have k == 0 and wait for their first full slot).
+func (c *Contention) onBoundaryGraph() {
+	now := c.eng.Now()
+	c.inBoundary = true
+	c.fired = c.fired[:0]
+	c.sensed = c.sensed[:0]
+	for link := range c.entries {
+		e := &c.entries[link]
+		if !e.active || c.frozen[link] {
+			continue
+		}
+		k := int((now - c.anchors[link]) / c.slot)
+		if k <= 0 {
+			continue
+		}
+		c.anchors[link] += sim.Time(k) * c.slot
+		if e.counter > 0 {
+			if e.counter -= k; e.counter < 0 {
+				e.counter = 0
+			}
+		}
+		if c.anchors[link] != now {
+			continue
+		}
+		switch e.counter {
+		case 0:
+			c.fired = append(c.fired, link)
+		case 1:
+			c.sensed = append(c.sensed, link)
+		}
+	}
+	c.finishBoundaryGraph()
+}
+
+// settleGraph is Settle under a conflict graph: entries already at zero or
+// one fire or sense immediately, per neighborhood (a frozen link's
+// neighborhood is busy; it keeps waiting).
+func (c *Contention) settleGraph() {
+	c.inBoundary = true
+	c.fired = c.fired[:0]
+	c.sensed = c.sensed[:0]
+	for link := range c.entries {
+		e := &c.entries[link]
+		if !e.active || c.frozen[link] {
+			continue
+		}
+		switch e.counter {
+		case 0:
+			c.fired = append(c.fired, link)
+		case 1:
+			c.sensed = append(c.sensed, link)
+		}
+	}
+	c.finishBoundaryGraph()
+}
+
+// finishBoundaryGraph fires the collected entries in link order (conflicting
+// same-instant fires collide on the medium; non-conflicting ones proceed
+// concurrently), then delivers per-neighborhood carrier-sense callbacks, and
+// re-arms the clock for whatever countdown remains.
+func (c *Contention) finishBoundaryGraph() {
+	for _, link := range c.fired {
+		fire := c.entries[link].contender.Fire
+		c.entries[link] = contentionEntry{}
+		c.frozen[link] = false
+		c.active--
+		ok := fire()
+		if c.fireObs != nil {
+			c.fireObs(link, ok)
+		}
+	}
+	for _, link := range c.sensed {
+		e := &c.entries[link]
+		if !e.active {
+			continue
+		}
+		if hook := e.contender.ReachedOne; hook != nil {
+			e.contender.ReachedOne = nil
+			// Carrier sensing is local: the link hears only its own
+			// neighborhood, not fires elsewhere in the graph.
+			busy := c.med.BusyFor(link)
+			hook(busy)
+			if c.senseObs != nil {
+				c.senseObs(link, busy)
+			}
+		}
+	}
+	c.inBoundary = false
+	c.rearmGraph()
+}
+
+// LinkBusy implements medium.LinkListener: freeze link's countdown. Partial
+// slot progress is lost, like the global freeze (sync floors elapsed slots).
+func (c *Contention) LinkBusy(link int, at sim.Time) {
+	if !c.entries[link].active || c.frozen[link] {
+		return
+	}
+	c.materialize(link, at)
+	c.frozen[link] = true
+	if !c.inBoundary {
+		c.rearmGraph()
+	}
+}
+
+// LinkIdle implements medium.LinkListener: resume link's countdown on a
+// fresh grid anchored at the idle instant, like the global resume re-anchors
+// base at ChannelIdle.
+func (c *Contention) LinkIdle(link int, at sim.Time) {
+	if !c.entries[link].active || !c.frozen[link] {
+		return
+	}
+	c.frozen[link] = false
+	c.anchors[link] = at
+	if !c.inBoundary {
+		c.rearmGraph()
+	}
+}
+
 var _ medium.Listener = (*Contention)(nil)
+var _ medium.LinkListener = (*Contention)(nil)

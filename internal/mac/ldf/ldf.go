@@ -25,8 +25,11 @@ type Scheduler struct {
 	weights []float64
 	// ctx/serveFn cache the interval context (stable across intervals) and
 	// the chained-transmission callback, so serving allocates nothing.
-	ctx     *mac.Context
-	serveFn func(bool)
+	// serveSetFn is the graph-mode counterpart: on a non-complete conflict
+	// graph each completed exchange rescans for newly unblocked links.
+	ctx        *mac.Context
+	serveFn    func(bool)
+	serveSetFn func(bool)
 }
 
 // New returns an ELDF scheduler with the given debt influence function.
@@ -61,6 +64,7 @@ func (s *Scheduler) BeginInterval(ctx *mac.Context) {
 	n := ctx.Links()
 	if s.serveFn == nil {
 		s.serveFn = func(bool) { s.serveNext(s.ctx) }
+		s.serveSetFn = func(bool) { s.serveSet(s.ctx) }
 	}
 	s.ctx = ctx
 	if cap(s.order) < n {
@@ -94,7 +98,11 @@ func (s *Scheduler) BeginInterval(ctx *mac.Context) {
 		}
 		order[j+1] = li
 	}
-	s.serveNext(ctx)
+	if g := ctx.Med.Graph(); g != nil && !g.Complete() {
+		s.serveSet(ctx)
+	} else {
+		s.serveNext(ctx)
+	}
 }
 
 // serveNext transmits on the highest-priority link that still has pending
@@ -110,6 +118,26 @@ func (s *Scheduler) serveNext(ctx *mac.Context) {
 			// packets have equal airtime, no other link fits either
 			// (Remark 4: stay idle until the interval ends).
 			return
+		}
+	}
+}
+
+// serveSet is serveNext generalized to a partial conflict graph: walking the
+// weight order, every link with pending packets whose closed neighborhood is
+// idle starts transmitting — a greedy maximum-weight independent set, the
+// natural centralized ELDF under spatial reuse. Starting a link marks its
+// whole neighborhood busy (the closed row includes the link itself), so later
+// links in the same pass are skipped exactly when they conflict with an
+// earlier pick. Each completed exchange rescans: the finished link may
+// re-serve its own queue or unblock a lower-weight neighbor.
+func (s *Scheduler) serveSet(ctx *mac.Context) {
+	if !ctx.FitsData() {
+		// Equal airtimes: nothing fits for any link (Remark 4).
+		return
+	}
+	for _, link := range s.order {
+		if ctx.Pending(link) > 0 && !ctx.Med.BusyFor(link) {
+			ctx.TransmitData(link, s.serveSetFn)
 		}
 	}
 }

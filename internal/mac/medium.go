@@ -1,0 +1,36 @@
+package mac
+
+import (
+	"rtmac/internal/medium"
+	"rtmac/internal/sim"
+)
+
+// Medium is the channel interface protocols program against through the
+// Context. It is the subset of *medium.Medium the protocols use: starting
+// transmissions, carrier sensing (global and per-neighborhood), the conflict
+// graph, and the reliability model. Extracting it keeps protocol code
+// independent of the concrete channel implementation; the network itself
+// retains the concrete medium for reporting and trace wiring.
+type Medium interface {
+	// Start begins a transmission; see medium.Medium.Start.
+	Start(link int, duration sim.Time, empty bool, onDone func(medium.Outcome)) *medium.Transmission
+	// Links returns the number of links sharing the channel.
+	Links() int
+	// SuccessProb returns link n's long-run mean delivery probability p_n.
+	SuccessProb(n int) float64
+	// Busy reports whether any transmission is in flight anywhere.
+	Busy() bool
+	// BusyFor reports whether link n's closed neighborhood is occupied; with
+	// no conflict graph it equals Busy.
+	BusyFor(n int) bool
+	// Graph returns the conflict graph, or nil for the fully-interfering
+	// channel.
+	Graph() *medium.Graph
+	// Subscribe registers a global carrier-sense listener.
+	Subscribe(l medium.Listener)
+	// SubscribeLinks registers a per-link carrier-sense listener (conflict
+	// graph only).
+	SubscribeLinks(l medium.LinkListener)
+}
+
+var _ Medium = (*medium.Medium)(nil)

@@ -55,6 +55,10 @@ type NetworkConfig struct {
 	// cannot be constructed before the network exists). Mutually exclusive
 	// with SuccessProb and Channel.
 	ChannelFactory func(eng *sim.Engine, links int) (medium.Model, error)
+	// Conflicts, when non-nil, is the interference graph governing which
+	// links collide; nil means the paper's fully-interfering channel
+	// (complete graph). Non-complete graphs enable spatial reuse.
+	Conflicts *medium.Graph
 	// Arrivals generates A(k).
 	Arrivals arrival.VectorProcess
 	// Required is the per-link timely-throughput requirement vector q
@@ -157,11 +161,11 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		if err != nil {
 			return nil, fmt.Errorf("mac: channel factory: %w", err)
 		}
-		med, err = medium.NewWithModel(eng, n, model, medium.WithRegistry(reg))
+		med, err = medium.NewWithModel(eng, n, model, medium.WithRegistry(reg), medium.WithGraph(cfg.Conflicts))
 	case cfg.Channel != nil:
-		med, err = medium.NewWithModel(eng, n, cfg.Channel, medium.WithRegistry(reg))
+		med, err = medium.NewWithModel(eng, n, cfg.Channel, medium.WithRegistry(reg), medium.WithGraph(cfg.Conflicts))
 	default:
-		med, err = medium.New(eng, cfg.SuccessProb, medium.WithRegistry(reg))
+		med, err = medium.New(eng, cfg.SuccessProb, medium.WithRegistry(reg), medium.WithGraph(cfg.Conflicts))
 	}
 	if err != nil {
 		return nil, fmt.Errorf("mac: %w", err)
@@ -374,6 +378,9 @@ func (nw *Network) beginInterval() error {
 	}
 	nw.cfg.Arrivals.Sample(nw.arrivalRNG, nw.arrivals)
 	nw.ctx.beginInterval(k, start, end, nw.arrivals)
+	if k == 0 {
+		nw.emitConflicts()
+	}
 	if jt := nw.journeys; jt != nil {
 		jt.BeginInterval(k, start, end, nw.arrivals)
 		if nw.prio != nil {
@@ -391,6 +398,25 @@ func (nw *Network) beginInterval() error {
 	}
 	nw.cfg.Protocol.BeginInterval(nw.ctx)
 	return nil
+}
+
+// emitConflicts records the conflict topology at the head of the event
+// stream, one event per undirected edge, so offline auditors can rebuild the
+// graph. Fully-interfering runs (nil or complete graph) emit nothing: their
+// streams stay byte-identical to the seed medium's, and readers default to
+// the complete graph.
+func (nw *Network) emitConflicts() {
+	sink := nw.inst.sink
+	g := nw.med.Graph()
+	if sink == nil || g == nil || g.Complete() {
+		return
+	}
+	g.EachEdge(func(i, j int) {
+		sink.Emit(telemetry.Event{
+			K: 0, At: 0, Link: i, Kind: telemetry.EventConflict,
+			Fields: map[string]float64{"peer": float64(j)},
+		})
+	})
 }
 
 // endInterval closes the current interval after the engine drained its

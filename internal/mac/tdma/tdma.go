@@ -30,6 +30,16 @@ type Protocol struct {
 	ctx     *mac.Context
 	serveFn func(bool)
 	timerFn func()
+	// Graph mode: on a non-complete conflict graph the frame is divided
+	// among color classes of a greedy coloring instead of individual links —
+	// all links of the active color transmit simultaneously (they are
+	// pairwise non-conflicting by construction), the TDMA analogue of
+	// spatial reuse. colors/numColors are computed once per network.
+	graphMode   bool
+	colors      []int
+	numColors   int
+	outstanding int
+	groupDoneFn func(bool)
 }
 
 // New returns a TDMA instance. rotate spreads remainder slots across links
@@ -49,13 +59,27 @@ func (p *Protocol) BeginInterval(ctx *mac.Context) {
 		p.serveFn = func(bool) { p.serveNext(p.ctx) }
 		p.timerFn = func() {
 			p.timer = nil
-			p.serveNext(p.ctx)
+			if p.graphMode {
+				p.serveNextGroup(p.ctx)
+			} else {
+				p.serveNext(p.ctx)
+			}
+		}
+		p.groupDoneFn = func(bool) {
+			p.outstanding--
+			if p.outstanding == 0 {
+				p.serveNextGroup(p.ctx)
+			}
 		}
 	}
 	p.ctx = ctx
 	if cap(p.alloc) < n {
 		p.alloc = make([]int, n)
 		p.order = make([]int, n)
+	}
+	if g := ctx.Med.Graph(); g != nil && !g.Complete() {
+		p.beginGraph(ctx)
+		return
 	}
 	p.alloc = p.alloc[:n]
 	p.order = p.order[:n]
@@ -76,6 +100,98 @@ func (p *Protocol) BeginInterval(ctx *mac.Context) {
 	}
 	p.k++
 	p.serveNext(ctx)
+}
+
+// beginGraph divides the frame among the color classes of a greedy coloring
+// of the conflict graph: each class gets slots/numColors slots (remainders
+// rotate like the link-level remainders), and within a class every link with
+// pending traffic transmits concurrently.
+func (p *Protocol) beginGraph(ctx *mac.Context) {
+	p.graphMode = true
+	if p.colors == nil {
+		p.colorize(ctx)
+	}
+	m := p.numColors
+	p.alloc = p.alloc[:m]
+	p.order = p.order[:m]
+	slots := ctx.Profile.SlotsPerInterval()
+	base := slots / m
+	extra := slots % m
+	start := 0
+	if p.rotate {
+		start = int(p.k % int64(m))
+	}
+	for i := 0; i < m; i++ {
+		color := (start + i) % m
+		p.order[i] = color
+		p.alloc[color] = base
+		if i < extra {
+			p.alloc[color]++
+		}
+	}
+	p.k++
+	p.outstanding = 0
+	p.serveNextGroup(ctx)
+}
+
+// colorize computes a greedy coloring by link index: each link takes the
+// smallest color unused by its already-colored conflicting neighbors. The
+// graph is fixed for a network's lifetime, so this runs once.
+func (p *Protocol) colorize(ctx *mac.Context) {
+	n := ctx.Links()
+	g := ctx.Med.Graph()
+	p.colors = make([]int, n)
+	used := make([]bool, n)
+	p.numColors = 0
+	for link := 0; link < n; link++ {
+		for j := 0; j < link; j++ {
+			if g.Conflicts(link, j) {
+				used[p.colors[j]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		p.colors[link] = c
+		if c+1 > p.numColors {
+			p.numColors = c + 1
+		}
+		for j := range used[:p.numColors] {
+			used[j] = false
+		}
+	}
+}
+
+// serveNextGroup consumes one color-class slot: every link of the active
+// color with pending packets starts a data exchange; the group's completions
+// (all at the same instant — equal airtimes started together) advance to the
+// next slot. Idle classes burn a slot's airtime exactly like serveNext's
+// empty link slots.
+func (p *Protocol) serveNextGroup(ctx *mac.Context) {
+	for _, color := range p.order {
+		if p.alloc[color] == 0 {
+			continue
+		}
+		p.alloc[color]--
+		if !ctx.FitsData() {
+			return
+		}
+		started := 0
+		for link, c := range p.colors {
+			if c == color && ctx.Pending(link) > 0 {
+				if ctx.TransmitData(link, p.groupDoneFn) {
+					started++
+				}
+			}
+		}
+		if started > 0 {
+			p.outstanding = started
+			return
+		}
+		p.timer = ctx.Eng.After(ctx.Profile.DataAirtime, p.timerFn)
+		return
+	}
 }
 
 // serveNext consumes the allocation in order; slots whose owner has nothing
@@ -106,6 +222,10 @@ func (p *Protocol) EndInterval(ctx *mac.Context) {
 		ctx.Eng.Cancel(p.timer)
 		p.timer = nil
 	}
+	// Orphan any group completions still landing at the interval boundary:
+	// with outstanding at zero and the allocation cleared, a late
+	// groupDoneFn decrements past zero and serveNextGroup finds nothing.
+	p.outstanding = 0
 	for i := range p.alloc {
 		p.alloc[i] = 0
 	}

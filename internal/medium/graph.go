@@ -1,0 +1,181 @@
+package medium
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Graph is an undirected conflict (interference) graph over the links of a
+// medium: an edge {i, j} means links i and j interfere — their transmissions
+// may not overlap in time. The complete graph reproduces the paper's
+// fully-interfering channel; sparser graphs enable spatial reuse, where
+// non-conflicting links transmit concurrently.
+//
+// The adjacency is stored as per-link bitset rows, so conflict queries and
+// closed-neighborhood walks are allocation-free. A Graph is immutable after
+// construction and safe to share between a medium, its contention
+// coordinator, and the protocols.
+type Graph struct {
+	n     int
+	words int
+	// rows is the open adjacency (no self loops): rows[i*words:...] has bit j
+	// set iff {i, j} is an edge.
+	rows []uint64
+	// closed is rows with each link's own bit set — the closed neighborhood
+	// used for carrier-sense bookkeeping (a link is "busy" to itself).
+	closed   []uint64
+	edges    int
+	complete bool
+}
+
+// NewGraph builds a conflict graph over n links from an edge list. Edges are
+// symmetrized (an edge given as [i, j] also blocks [j, i]) and duplicates are
+// idempotent; self-loops and out-of-range endpoints are rejected.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("medium: conflict graph needs at least 1 link, got %d", n)
+	}
+	g := newEmptyGraph(n)
+	for _, e := range edges {
+		i, j := e[0], e[1]
+		if i < 0 || i >= n || j < 0 || j >= n {
+			return nil, fmt.Errorf("medium: conflict edge [%d, %d] outside [0, %d)", i, j, n)
+		}
+		if i == j {
+			return nil, fmt.Errorf("medium: conflict edge [%d, %d] is a self-loop", i, j)
+		}
+		g.setEdge(i, j)
+	}
+	g.finalize()
+	return g, nil
+}
+
+// CompleteGraph returns the fully-interfering conflict graph over n links —
+// the paper's single collision domain. A medium built with it behaves
+// identically to one built with no graph at all.
+func CompleteGraph(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("medium: complete conflict graph needs at least 1 link, got %d", n))
+	}
+	g := newEmptyGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.setEdge(i, j)
+		}
+	}
+	g.finalize()
+	return g
+}
+
+// CliqueGraph returns the union of complete subgraphs over the given link
+// sets — e.g. two disjoint cells that do not hear each other. Overlapping
+// cliques are allowed; duplicate membership is idempotent.
+func CliqueGraph(n int, cliques [][]int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("medium: conflict graph needs at least 1 link, got %d", n)
+	}
+	g := newEmptyGraph(n)
+	for ci, clique := range cliques {
+		for _, i := range clique {
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("medium: clique %d: link %d outside [0, %d)", ci, i, n)
+			}
+		}
+		for a := 0; a < len(clique); a++ {
+			for b := a + 1; b < len(clique); b++ {
+				if clique[a] != clique[b] {
+					g.setEdge(clique[a], clique[b])
+				}
+			}
+		}
+	}
+	g.finalize()
+	return g, nil
+}
+
+func newEmptyGraph(n int) *Graph {
+	words := (n + 63) / 64
+	return &Graph{n: n, words: words, rows: make([]uint64, n*words)}
+}
+
+func (g *Graph) setEdge(i, j int) {
+	g.rows[i*g.words+j/64] |= 1 << uint(j%64)
+	g.rows[j*g.words+i/64] |= 1 << uint(i%64)
+}
+
+// finalize derives the closed rows, the edge count, and the completeness
+// flag from the open adjacency.
+func (g *Graph) finalize() {
+	g.closed = make([]uint64, len(g.rows))
+	copy(g.closed, g.rows)
+	bitsSet := 0
+	for i := 0; i < g.n; i++ {
+		g.closed[i*g.words+i/64] |= 1 << uint(i%64)
+		for w := 0; w < g.words; w++ {
+			bitsSet += bits.OnesCount64(g.rows[i*g.words+w])
+		}
+	}
+	g.edges = bitsSet / 2
+	g.complete = g.edges == g.n*(g.n-1)/2
+}
+
+// Links returns the number of links the graph covers.
+func (g *Graph) Links() int { return g.n }
+
+// Edges returns the number of undirected conflict edges.
+func (g *Graph) Edges() int { return g.edges }
+
+// Complete reports whether every pair of distinct links conflicts — the
+// fully-interfering channel of the seed medium.
+func (g *Graph) Complete() bool { return g.complete }
+
+// Conflicts reports whether links i and j interfere. A link always conflicts
+// with itself (it cannot overlap its own transmissions).
+func (g *Graph) Conflicts(i, j int) bool {
+	if i == j {
+		return true
+	}
+	return g.rows[i*g.words+j/64]&(1<<uint(j%64)) != 0
+}
+
+// Degree returns the number of links conflicting with link i (i excluded).
+func (g *Graph) Degree(i int) int {
+	d := 0
+	for w := 0; w < g.words; w++ {
+		d += bits.OnesCount64(g.rows[i*g.words+w])
+	}
+	return d
+}
+
+// ClosedRow returns link i's closed-neighborhood bitset (i's own bit plus
+// every conflicting link). The returned slice aliases the graph's storage
+// and must not be modified; callers iterate it allocation-free with
+// math/bits.
+func (g *Graph) ClosedRow(i int) []uint64 {
+	return g.closed[i*g.words : (i+1)*g.words]
+}
+
+// EachEdge calls fn once per undirected edge with i < j, in ascending (i, j)
+// order — the deterministic order the telemetry stream records conflicts in.
+func (g *Graph) EachEdge(fn func(i, j int)) {
+	for i := 0; i < g.n; i++ {
+		row := g.rows[i*g.words : (i+1)*g.words]
+		for w, word := range row {
+			for word != 0 {
+				j := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if j > i {
+					fn(i, j)
+				}
+			}
+		}
+	}
+}
+
+// String aids debugging.
+func (g *Graph) String() string {
+	if g.complete {
+		return fmt.Sprintf("conflicts(complete, %d links)", g.n)
+	}
+	return fmt.Sprintf("conflicts(%d links, %d edges)", g.n, g.edges)
+}

@@ -1,0 +1,161 @@
+package medium
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestNewGraphValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		links int
+		edges [][2]int
+	}{
+		{"zero-links", 0, nil},
+		{"negative-links", -1, nil},
+		{"self-loop", 3, [][2]int{{1, 1}}},
+		{"out-of-range", 3, [][2]int{{0, 3}}},
+		{"negative-endpoint", 3, [][2]int{{-1, 2}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewGraph(tc.links, tc.edges); err == nil {
+				t.Errorf("NewGraph(%d, %v) accepted, want error", tc.links, tc.edges)
+			}
+		})
+	}
+}
+
+func TestGraphDedupAndSymmetry(t *testing.T) {
+	g, err := NewGraph(4, [][2]int{{0, 1}, {1, 0}, {0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Edges(); got != 2 {
+		t.Errorf("duplicate and reversed pairs should collapse: %d edges, want 2", got)
+	}
+	for i := 0; i < 4; i++ {
+		if !g.Conflicts(i, i) {
+			t.Errorf("link %d must conflict with itself", i)
+		}
+		for j := 0; j < 4; j++ {
+			if g.Conflicts(i, j) != g.Conflicts(j, i) {
+				t.Errorf("asymmetric adjacency between %d and %d", i, j)
+			}
+		}
+	}
+	if !g.Conflicts(0, 1) || !g.Conflicts(2, 3) || g.Conflicts(0, 2) {
+		t.Error("wrong edge set")
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	g := CompleteGraph(5)
+	if !g.Complete() {
+		t.Fatal("CompleteGraph is not Complete")
+	}
+	if got, want := g.Edges(), 10; got != want {
+		t.Errorf("edges = %d, want %d", got, want)
+	}
+	// An explicit edge list covering every pair is recognized as complete.
+	var edges [][2]int
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	e, err := NewGraph(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Complete() {
+		t.Error("explicit all-pairs edge list not recognized as complete")
+	}
+	// A single link has no pairs to conflict: vacuously complete.
+	if !CompleteGraph(1).Complete() {
+		t.Error("single-link graph should be complete")
+	}
+	sparse, err := NewGraph(3, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Complete() {
+		t.Error("sparse graph reported complete")
+	}
+}
+
+func TestCliqueGraph(t *testing.T) {
+	g, err := CliqueGraph(6, [][]int{{0, 1, 2}, {3, 4}, {5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.Edges(), 4; got != want { // C(3,2) + C(2,2)
+		t.Errorf("edges = %d, want %d", got, want)
+	}
+	if !g.Conflicts(0, 2) || !g.Conflicts(3, 4) {
+		t.Error("intra-clique pair not adjacent")
+	}
+	if g.Conflicts(2, 3) || g.Conflicts(4, 5) {
+		t.Error("cross-clique pair adjacent")
+	}
+	if _, err := CliqueGraph(3, [][]int{{0, 3}}); err == nil {
+		t.Error("out-of-range clique member accepted")
+	}
+}
+
+func TestGraphEachEdgeOrder(t *testing.T) {
+	g, err := NewGraph(5, [][2]int{{3, 4}, {0, 2}, {2, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][2]int
+	g.EachEdge(func(i, j int) { got = append(got, [2]int{i, j}) })
+	want := [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("EachEdge visited %d edges, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("edge %d = %v, want %v (lower-endpoint ascending order)", k, got[k], want[k])
+		}
+	}
+}
+
+func TestGraphClosedRowAndDegree(t *testing.T) {
+	g, err := NewGraph(70, [][2]int{{0, 1}, {0, 69}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Degree(0); got != 2 {
+		t.Errorf("Degree(0) = %d, want 2", got)
+	}
+	row := g.ClosedRow(0)
+	if len(row) != 2 { // 70 links -> two 64-bit words
+		t.Fatalf("ClosedRow word count = %d, want 2", len(row))
+	}
+	pop := 0
+	for _, w := range row {
+		pop += bits.OnesCount64(w)
+	}
+	if pop != 3 { // self + two neighbors
+		t.Errorf("closed neighborhood popcount = %d, want 3", pop)
+	}
+	if row[0]&1 == 0 {
+		t.Error("closed row missing the self bit")
+	}
+	if row[1]&(1<<5) == 0 {
+		t.Error("closed row missing neighbor 69 (bit 5 of word 1)")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	if got, want := CompleteGraph(4).String(), "conflicts(complete, 4 links)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	g, err := NewGraph(4, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.String(), "conflicts(4 links, 1 edges)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -12,6 +12,7 @@ package medium
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rtmac/internal/sim"
 	"rtmac/internal/telemetry"
@@ -51,6 +52,18 @@ type Listener interface {
 	ChannelBusy(at sim.Time)
 	// ChannelIdle fires when the channel transitions busy -> idle.
 	ChannelIdle(at sim.Time)
+}
+
+// LinkListener observes per-link carrier-sense transitions under a conflict
+// graph: a link is busy while any transmission in its closed neighborhood
+// (itself or a conflicting link) is in flight. Only meaningful on a medium
+// built with WithGraph; without a graph every link shares the global
+// Listener view.
+type LinkListener interface {
+	// LinkBusy fires when link's neighborhood transitions idle -> busy.
+	LinkBusy(link int, at sim.Time)
+	// LinkIdle fires when link's neighborhood transitions busy -> idle.
+	LinkIdle(link int, at sim.Time)
 }
 
 // Transmission is one in-flight or completed channel occupancy.
@@ -156,6 +169,19 @@ type Medium struct {
 	reg       *telemetry.Registry
 	met       channelMetrics
 	traces    []func(tx Transmission, outcome Outcome)
+	// graph, when non-nil, is the conflict graph: only conflicting overlaps
+	// collide, and per-link neighborhood busy state is tracked for spatial
+	// reuse. nil preserves the seed behavior (complete conflict graph) on the
+	// exact legacy code path.
+	graph         *Graph
+	linkListeners []LinkListener
+	// nbrBusy[n] counts in-flight transmissions in link n's closed
+	// neighborhood; pendingIdle[n] marks a neighborhood that emptied during a
+	// finish, so a transmission chained from onDone keeps the link
+	// continuously busy with no idle/busy flap (the per-link analogue of
+	// inFinish).
+	nbrBusy     []int32
+	pendingIdle []bool
 }
 
 // Option configures a Medium at construction.
@@ -169,6 +195,18 @@ func WithRegistry(reg *telemetry.Registry) Option {
 		if reg != nil {
 			m.reg = reg
 		}
+	}
+}
+
+// WithGraph sets the conflict graph governing which links interfere. A nil
+// graph (the default) means the fully-interfering channel of the paper and
+// keeps the medium on the seed code path; a complete graph is semantically
+// identical but exercises the generalized path. Non-complete graphs enable
+// spatial reuse: non-conflicting links transmit concurrently without
+// colliding.
+func WithGraph(g *Graph) Option {
+	return func(m *Medium) {
+		m.graph = g
 	}
 }
 
@@ -210,6 +248,14 @@ func NewWithModel(eng *sim.Engine, links int, model Model, opts ...Option) (*Med
 	for _, opt := range opts {
 		opt(m)
 	}
+	if m.graph != nil {
+		if m.graph.Links() != links {
+			return nil, fmt.Errorf("medium: conflict graph covers %d links, medium has %d",
+				m.graph.Links(), links)
+		}
+		m.nbrBusy = make([]int32, links)
+		m.pendingIdle = make([]bool, links)
+	}
 	if m.reg == nil {
 		m.reg = telemetry.NewRegistry()
 	}
@@ -228,6 +274,21 @@ func (m *Medium) SuccessProb(n int) float64 { return m.model.Mean(n) }
 // Busy reports whether any transmission is currently in flight — the carrier-
 // sense primitive.
 func (m *Medium) Busy() bool { return len(m.active) > 0 }
+
+// Graph returns the conflict graph, or nil for the fully-interfering
+// default.
+func (m *Medium) Graph() *Graph { return m.graph }
+
+// BusyFor reports whether link n's closed neighborhood has a transmission in
+// flight — the per-link carrier-sense primitive under a conflict graph.
+// Without a graph every link hears the whole channel and BusyFor equals
+// Busy.
+func (m *Medium) BusyFor(n int) bool {
+	if m.graph == nil {
+		return len(m.active) > 0
+	}
+	return m.nbrBusy[n] > 0
+}
 
 // ActiveCount returns the number of overlapping in-flight transmissions.
 func (m *Medium) ActiveCount() int { return len(m.active) }
@@ -284,6 +345,16 @@ func (m *Medium) Subscribe(l Listener) {
 	m.listeners = append(m.listeners, l)
 }
 
+// SubscribeLinks registers a per-link carrier-sense listener. It panics on a
+// medium built without a conflict graph: without one there is no per-link
+// busy state to observe, and the caller should Subscribe instead.
+func (m *Medium) SubscribeLinks(l LinkListener) {
+	if m.graph == nil {
+		panic("medium: SubscribeLinks on a medium without a conflict graph")
+	}
+	m.linkListeners = append(m.linkListeners, l)
+}
+
 // AddTrace installs a hook invoked once per completed transmission, with a
 // copy of the transmission record and its resolved outcome. Hooks run in
 // registration order, before the transmitter's onDone callback; multiple
@@ -329,11 +400,21 @@ func (m *Medium) Start(link int, duration sim.Time, empty bool, onDone func(Outc
 		fin := tx
 		tx.finishFn = func() { m.finish(fin) }
 	}
-	// Any overlap destroys every transmission involved.
-	if len(m.active) > 0 {
-		tx.collided = true
+	// Any conflicting overlap destroys every transmission involved; without
+	// a graph every pair of links conflicts (the paper's channel).
+	if m.graph == nil {
+		if len(m.active) > 0 {
+			tx.collided = true
+			for _, other := range m.active {
+				other.collided = true
+			}
+		}
+	} else {
 		for _, other := range m.active {
-			other.collided = true
+			if m.graph.Conflicts(link, other.Link) {
+				tx.collided = true
+				other.collided = true
+			}
 		}
 	}
 	// A transmission chained from inside a finishing transmission's onDone
@@ -350,8 +431,71 @@ func (m *Medium) Start(link int, duration sim.Time, empty bool, onDone func(Outc
 			l.ChannelBusy(now)
 		}
 	}
+	if m.graph != nil {
+		m.noteStart(link, now)
+	}
 	m.eng.ScheduleAt(tx.End, tx.finishFn)
 	return tx
+}
+
+// noteStart raises the closed-neighborhood busy counts of a starting
+// transmission and notifies per-link listeners of idle -> busy transitions.
+// A neighborhood that was drained inside the enclosing finish (pendingIdle)
+// is simply kept busy: back-to-back occupancy produces no flap.
+func (m *Medium) noteStart(link int, now sim.Time) {
+	row := m.graph.ClosedRow(link)
+	for w, word := range row {
+		for word != 0 {
+			j := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			m.nbrBusy[j]++
+			if m.nbrBusy[j] == 1 {
+				if m.pendingIdle[j] {
+					m.pendingIdle[j] = false
+				} else {
+					for _, l := range m.linkListeners {
+						l.LinkBusy(j, now)
+					}
+				}
+			}
+		}
+	}
+}
+
+// noteFinishDown lowers the closed-neighborhood busy counts of a finishing
+// transmission. Neighborhoods that drain are not declared idle yet — the
+// finishing link's onDone may chain a follow-up transmission — but marked
+// pendingIdle; noteFinishIdle settles them after onDone ran.
+func (m *Medium) noteFinishDown(link int) {
+	row := m.graph.ClosedRow(link)
+	for w, word := range row {
+		for word != 0 {
+			j := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			m.nbrBusy[j]--
+			if m.nbrBusy[j] == 0 {
+				m.pendingIdle[j] = true
+			}
+		}
+	}
+}
+
+// noteFinishIdle delivers LinkIdle for every neighborhood of the finished
+// transmission that is still drained after onDone had its chance to chain.
+func (m *Medium) noteFinishIdle(link int, now sim.Time) {
+	row := m.graph.ClosedRow(link)
+	for w, word := range row {
+		for word != 0 {
+			j := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if m.pendingIdle[j] {
+				m.pendingIdle[j] = false
+				for _, l := range m.linkListeners {
+					l.LinkIdle(j, now)
+				}
+			}
+		}
+	}
 }
 
 func (m *Medium) finish(tx *Transmission) {
@@ -361,6 +505,12 @@ func (m *Medium) finish(tx *Transmission) {
 			m.active = append(m.active[:i], m.active[i+1:]...)
 			break
 		}
+	}
+	if m.graph != nil {
+		// Counts drop before onDone so BusyFor reflects the finished
+		// transmission during the callback (matching Busy without a graph);
+		// idle notifications wait until after it, like ChannelIdle.
+		m.noteFinishDown(tx.Link)
 	}
 	outcome := m.resolve(tx)
 	for _, hook := range m.traces {
@@ -379,6 +529,9 @@ func (m *Medium) finish(tx *Transmission) {
 		for _, l := range m.listeners {
 			l.ChannelIdle(now)
 		}
+	}
+	if m.graph != nil {
+		m.noteFinishIdle(tx.Link, m.eng.Now())
 	}
 	// Recycle: nothing references tx past this point (Start's return value is
 	// dead once the transmission ends, and trace hooks got a value copy).

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"rtmac/internal/medium"
 	"rtmac/internal/sim"
 	"rtmac/internal/telemetry"
 )
@@ -431,13 +432,16 @@ func (c *DebtSane) observeGrowth(sum float64) {
 // ---------------------------------------------------------------------------
 // airtime_conserved — every transmission fits inside its interval, and the
 // channel-time ledger closes: data + empty + collided airtime plus idle time
-// tiles each interval, which in event terms means no two non-collided
-// transmissions overlap and no span crosses a deadline boundary.
+// tiles each neighborhood, which in event terms means no two *conflicting*
+// non-collided transmissions overlap and no span crosses a deadline boundary.
+// On the fully-interfering channel (nil graph) every pair conflicts and this
+// reduces to the classic no-concurrent-transmissions check.
 // ---------------------------------------------------------------------------
 
 // AirtimeConserved replays each interval's transmission spans.
 type AirtimeConserved struct {
 	interval sim.Time
+	graph    *medium.Graph // nil = fully interfering
 	spans    map[int64][]txSpan
 }
 
@@ -447,9 +451,17 @@ type txSpan struct {
 	collided   bool
 }
 
-// NewAirtimeConserved builds the checker for interval length T.
-func NewAirtimeConserved(interval sim.Time) *AirtimeConserved {
-	return &AirtimeConserved{interval: interval, spans: make(map[int64][]txSpan)}
+// NewAirtimeConserved builds the checker for interval length T. graph is the
+// channel's conflict graph; nil (or a complete graph) means every pair of
+// links interferes.
+func NewAirtimeConserved(interval sim.Time, graph *medium.Graph) *AirtimeConserved {
+	return &AirtimeConserved{interval: interval, graph: graph, spans: make(map[int64][]txSpan)}
+}
+
+// conflicts reports whether concurrent spans on links a and b violate the
+// interference model.
+func (c *AirtimeConserved) conflicts(a, b int) bool {
+	return c.graph == nil || c.graph.Conflicts(a, b)
 }
 
 // Name implements Checker.
@@ -505,22 +517,30 @@ func (c *AirtimeConserved) finish(ev telemetry.Event, report Reporter) {
 		}
 		return spans[i].link < spans[j].link
 	})
-	// Walk with the furthest-reaching open span, not just the previous one,
-	// so a long transmission containing later short ones is still caught.
-	open := spans[0]
-	for i := 1; i < len(spans); i++ {
-		cur := spans[i]
-		if cur.start < open.end && !(open.collided && cur.collided) {
+	// Pairwise overlap scan: with a conflict graph, non-conflicting spans
+	// legitimately overlap (spatial reuse), so a single furthest-reaching
+	// open span no longer summarizes the channel — every overlapping pair is
+	// tested against the interference model. Spans are sorted by start, so
+	// the inner walk stops at the first span starting after span i ends;
+	// per-interval span counts are bounded by the slot budget, keeping the
+	// quadratic worst case small.
+	for i := 0; i < len(spans); i++ {
+		a := spans[i]
+		for j := i + 1; j < len(spans); j++ {
+			b := spans[j]
+			if b.start >= a.end {
+				break
+			}
+			if !c.conflicts(a.link, b.link) || (a.collided && b.collided) {
+				continue
+			}
 			report(Violation{
-				Check: c.Name(), K: ev.K, At: cur.start, Link: cur.link,
-				Msg: fmt.Sprintf("links %d and %d overlap on the channel without a collision outcome — airtime double-counted",
-					open.link, cur.link),
-				Fields: map[string]float64{"a": float64(open.link), "b": float64(cur.link)},
+				Check: c.Name(), K: ev.K, At: b.start, Link: b.link,
+				Msg: fmt.Sprintf("conflicting links %d and %d overlap on the channel without a collision outcome — airtime double-counted",
+					a.link, b.link),
+				Fields: map[string]float64{"a": float64(a.link), "b": float64(b.link)},
 			})
-			break
-		}
-		if cur.end > open.end {
-			open = cur
+			return
 		}
 	}
 }

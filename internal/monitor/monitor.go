@@ -16,6 +16,7 @@ package monitor
 import (
 	"fmt"
 
+	"rtmac/internal/medium"
 	"rtmac/internal/sim"
 	"rtmac/internal/telemetry"
 )
@@ -77,6 +78,10 @@ type Config struct {
 	// SwapPairs is the number of swap draws Algorithm 2 permits per interval
 	// (1, or m under the Remark 6 extension). Zero means 1.
 	SwapPairs int
+	// Conflicts is the channel's conflict graph; the airtime checker only
+	// flags overlapping transmissions on *conflicting* links. Nil means the
+	// fully-interfering channel (every pair conflicts).
+	Conflicts *medium.Graph
 	// Strict makes the first violation sticky: Err returns non-nil from then
 	// on, and a network wired through SetIntervalCheck fails its run at the
 	// end of the offending interval.
@@ -138,7 +143,7 @@ func New(cfg Config) (*Monitor, error) {
 			NewPermutationValid(cfg.Links),
 			NewSingleAdjacentSwap(cfg.Links, pairs, cfg.Registry),
 			NewDebtSane(cfg.Links, cfg.Registry),
-			NewAirtimeConserved(cfg.Interval),
+			NewAirtimeConserved(cfg.Interval, cfg.Conflicts),
 		}
 		if cfg.CollisionFree {
 			m.checkers = append(m.checkers, NewCollisionFree())
@@ -233,6 +238,7 @@ func InferConfig(events []telemetry.Event) (Config, error) {
 	links := 0
 	var interval sim.Time
 	dpFamily := false
+	var edges [][2]int
 	for _, ev := range events {
 		if ev.Link+1 > links {
 			links = ev.Link + 1
@@ -249,6 +255,12 @@ func InferConfig(events []telemetry.Event) (Config, error) {
 				// (k+1)·T, so T divides out exactly.
 				interval = ev.At / sim.Time(ev.K+1)
 			}
+		case telemetry.EventConflict:
+			peer := int(ev.Fields["peer"])
+			if peer+1 > links {
+				links = peer + 1
+			}
+			edges = append(edges, [2]int{ev.Link, peer})
 		}
 	}
 	if links == 0 {
@@ -257,6 +269,18 @@ func InferConfig(events []telemetry.Event) (Config, error) {
 	if interval == 0 {
 		return Config{}, fmt.Errorf("monitor: stream has no interval events to infer T from")
 	}
+	var graph *medium.Graph
+	if len(edges) > 0 {
+		// Conflict events are only emitted for non-complete graphs, so their
+		// presence both reconstructs the interference topology and marks the
+		// run as spatial-reuse: the DP family's collision-freedom proof is a
+		// complete-graph property, so the collision_free checker stands down.
+		g, err := medium.NewGraph(links, edges)
+		if err != nil {
+			return Config{}, fmt.Errorf("monitor: conflict events do not form a graph: %w", err)
+		}
+		graph = g
+	}
 	pairs := links / 2
 	if pairs == 0 {
 		pairs = 1
@@ -264,8 +288,9 @@ func InferConfig(events []telemetry.Event) (Config, error) {
 	return Config{
 		Links:         links,
 		Interval:      interval,
-		CollisionFree: dpFamily,
+		CollisionFree: dpFamily && graph == nil,
 		SwapPairs:     pairs,
+		Conflicts:     graph,
 	}, nil
 }
 

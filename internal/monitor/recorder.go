@@ -20,6 +20,11 @@ type FlightRecorder struct {
 	order    []int64
 	dropped  int64
 	total    int64
+	// pinned holds run-scoped events exempt from windowed eviction: the
+	// conflict-graph edges emitted once at k=0. A dump of intervals
+	// [k, k+64] without them would audit a spatial-reuse run against the
+	// complete graph, so they are retained forever and written first.
+	pinned []telemetry.Event
 }
 
 // NewFlightRecorder returns a recorder keeping the most recent `intervals`
@@ -46,6 +51,11 @@ func (r *FlightRecorder) Emit(ev telemetry.Event) {
 		}
 		ev.Fields = f
 	}
+	if ev.Kind == telemetry.EventConflict {
+		r.pinned = append(r.pinned, ev)
+		r.total++
+		return
+	}
 	if _, ok := r.buckets[ev.K]; !ok {
 		r.order = append(r.order, ev.K)
 		if len(r.order) > r.capacity {
@@ -68,12 +78,13 @@ func (r *FlightRecorder) Dropped() int64 { return r.dropped }
 // Intervals returns how many intervals are currently retained.
 func (r *FlightRecorder) Intervals() int { return len(r.order) }
 
-// Events returns the retained events, oldest interval first, in emission
+// Events returns the retained events: pinned run-scoped events (the conflict
+// topology) first, then the windowed intervals oldest first, in emission
 // order within each interval. The slice is a copy.
 func (r *FlightRecorder) Events() []telemetry.Event {
 	ks := append([]int64(nil), r.order...)
 	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-	var out []telemetry.Event
+	out := append([]telemetry.Event(nil), r.pinned...)
 	for _, k := range ks {
 		out = append(out, r.buckets[k]...)
 	}

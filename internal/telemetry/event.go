@@ -62,6 +62,13 @@ const (
 	// (internal/monitor): Check names the checker, Msg the detail, Fields
 	// the checker-specific payload.
 	EventViolation = "violation"
+	// EventConflict records one undirected conflict-graph edge at the start
+	// of a run (K = 0, At = 0): Link is the lower endpoint, field peer the
+	// higher. Emitted only when the medium carries a non-complete conflict
+	// graph, so offline auditors (monitor.InferConfig) can reconstruct the
+	// interference topology; fully-interfering runs emit none and are read as
+	// the complete graph.
+	EventConflict = "conflict"
 	// EventStall is a slot-budget watchdog overrun (internal/health): the
 	// wall-clock time spent simulating interval K exceeded the configured
 	// budget (Link = -1). Fields: budget_ns, elapsed_ns, overrun_ns,

@@ -86,11 +86,20 @@ func (f simFanout) Emit(ev telemetry.Event) {
 // surfaced as "violation" events on any attached streams, and — with
 // cfg.Strict — abort Run at the end of the offending interval.
 func (s *Simulation) EnableMonitor(cfg MonitorConfig) (*Monitor, error) {
+	// On a partial conflict graph, collision-freedom is only enforced for
+	// policies that keep the guarantee under spatial reuse (LDF/ELDF, TDMA,
+	// frame-based CSMA); DB-DP's proof is a complete-graph property, and the
+	// airtime checker takes over with the graph-aware overlap rule.
+	collisionFree := s.cfgProt.collisionFree
+	if s.conflicts != nil && !s.conflicts.Complete() && !s.cfgProt.collisionFreeOnGraph {
+		collisionFree = false
+	}
 	m, err := monitor.New(monitor.Config{
 		Links:         len(s.req),
 		Interval:      s.profileInterval,
-		CollisionFree: s.cfgProt.collisionFree,
+		CollisionFree: collisionFree,
 		SwapPairs:     s.cfgProt.swapPairs,
+		Conflicts:     s.conflicts.graph(),
 		Strict:        cfg.Strict,
 		Registry:      s.nw.Telemetry(),
 		Output:        simFanout{s: s},

@@ -23,6 +23,13 @@ type Protocol struct {
 	// collision-free; the runtime monitor arms its collision_free checker
 	// for them.
 	collisionFree bool
+	// collisionFreeOnGraph marks the subset that stays collision-free on an
+	// arbitrary (non-complete) conflict graph: LDF/ELDF serve a greedy
+	// independent set, TDMA schedules color classes, and frame-based CSMA
+	// stays globally sequential. DB-DP is excluded — its injective-counter
+	// argument is a complete-graph property, and per-neighborhood local
+	// ranks in unequal neighborhoods can coincide.
+	collisionFreeOnGraph bool
 	// swapPairs is the per-interval swap allowance of the DP family (zero
 	// for policies without priority swapping).
 	swapPairs int
@@ -141,9 +148,10 @@ func DBDP(opts ...DBDPOption) Protocol {
 // LDF returns the centralized Largest-Debt-First comparator.
 func LDF() Protocol {
 	return Protocol{
-		label:         "LDF",
-		collisionFree: true,
-		build:         func(int) (mac.Protocol, error) { return ldf.NewLDF(), nil },
+		label:                "LDF",
+		collisionFree:        true,
+		collisionFreeOnGraph: true,
+		build:                func(int) (mac.Protocol, error) { return ldf.NewLDF(), nil },
 	}
 }
 
@@ -151,9 +159,10 @@ func LDF() Protocol {
 // function (Algorithm 1).
 func ELDF(f InfluenceFunc) Protocol {
 	return Protocol{
-		label:         fmt.Sprintf("ELDF[%s]", f.f.Name()),
-		collisionFree: true,
-		build:         func(int) (mac.Protocol, error) { return ldf.New(f.f), nil },
+		label:                fmt.Sprintf("ELDF[%s]", f.f.Name()),
+		collisionFree:        true,
+		collisionFreeOnGraph: true,
+		build:                func(int) (mac.Protocol, error) { return ldf.New(f.f), nil },
 	}
 }
 
@@ -192,9 +201,10 @@ func DCF() Protocol {
 // schedule cannot adapt to within-frame losses.
 func FrameCSMA() Protocol {
 	return Protocol{
-		label:         "Frame-CSMA",
-		collisionFree: true,
-		build:         func(int) (mac.Protocol, error) { return framecsma.New(framecsma.DefaultConfig()) },
+		label:                "Frame-CSMA",
+		collisionFree:        true,
+		collisionFreeOnGraph: true,
+		build:                func(int) (mac.Protocol, error) { return framecsma.New(framecsma.DefaultConfig()) },
 	}
 }
 
@@ -203,9 +213,10 @@ func FrameCSMA() Protocol {
 // and channel quality — the zero-adaptivity reference point.
 func TDMA() Protocol {
 	return Protocol{
-		label:         "TDMA",
-		collisionFree: true,
-		build:         func(int) (mac.Protocol, error) { return tdma.New(true), nil },
+		label:                "TDMA",
+		collisionFree:        true,
+		collisionFreeOnGraph: true,
+		build:                func(int) (mac.Protocol, error) { return tdma.New(true), nil },
 	}
 }
 

@@ -108,6 +108,11 @@ type Config struct {
 	Profile Profile
 	// Links lists the N links sharing the channel.
 	Links []Link
+	// Conflicts, when non-nil, replaces the fully-interfering channel with a
+	// partial interference model: transmissions collide only on conflicting
+	// links, and non-conflicting links transmit concurrently (spatial reuse).
+	// Nil and CompleteConflicts(N) produce byte-identical runs.
+	Conflicts *ConflictGraph
 	// Protocol is the medium-access policy under test.
 	Protocol Protocol
 	// SnapshotEvery, when positive, records convergence snapshots each
@@ -138,6 +143,7 @@ type Simulation struct {
 	req             []float64
 	prot            mac.Protocol
 	cfgProt         Protocol
+	conflicts       *ConflictGraph
 	profileInterval sim.Time
 	events          *telemetry.JSONL
 	manifest        *telemetry.Manifest
@@ -212,6 +218,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	nwCfg := mac.NetworkConfig{
 		Seed:      cfg.Seed,
 		Profile:   cfg.Profile.p,
+		Conflicts: cfg.Conflicts.graph(),
 		Arrivals:  arrivals,
 		Required:  req,
 		Protocol:  prot,
@@ -240,6 +247,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		req:             req,
 		prot:            prot,
 		cfgProt:         cfg.Protocol,
+		conflicts:       cfg.Conflicts,
 		profileInterval: cfg.Profile.p.Interval,
 		manifest:        manifest,
 	}, nil

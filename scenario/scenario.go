@@ -39,6 +39,96 @@ type Document struct {
 	// Fading, when present, replaces every link's static successProb with a
 	// network-wide Gilbert–Elliott fading channel.
 	Fading *FadingSpec `json:"fading,omitempty"`
+	// Conflicts, when present, replaces the fully-interfering channel with a
+	// partial interference graph; absent means the complete graph (every
+	// pair of links conflicts), the paper's model.
+	Conflicts *ConflictsSpec `json:"conflicts,omitempty"`
+}
+
+// ConflictsSpec declares the interference topology as a conflict graph over
+// the scenario's links.
+type ConflictsSpec struct {
+	// Mode is "complete" (every pair conflicts — same as omitting the
+	// section), "none" (no pair conflicts), "edges" (explicit conflict
+	// pairs), or "cliques" (a union of collision domains). Empty infers
+	// "edges" or "cliques" when the matching list is present, else
+	// "complete".
+	Mode string `json:"mode,omitempty"`
+	// Edges lists conflicting link pairs by index (flat documents).
+	// Duplicate and reversed pairs are idempotent; self-conflicts are
+	// errors.
+	Edges [][2]int `json:"edges,omitempty"`
+	// Names lists conflicting link pairs by link name (topology documents
+	// only). Unknown names and self-conflicts are errors.
+	Names [][2]string `json:"names,omitempty"`
+	// Cliques lists collision domains by link index: every pair within a
+	// clique conflicts.
+	Cliques [][]int `json:"cliques,omitempty"`
+}
+
+// mode resolves the effective mode, inferring it from the populated lists
+// when unset.
+func (s *ConflictsSpec) mode() string {
+	if s.Mode != "" {
+		return s.Mode
+	}
+	switch {
+	case len(s.Cliques) > 0:
+		return "cliques"
+	case len(s.Edges) > 0 || len(s.Names) > 0:
+		return "edges"
+	default:
+		return "complete"
+	}
+}
+
+// buildConflicts compiles the spec for an n-link network. nameIndex resolves
+// link names to indices (nil for flat documents, where named edges are an
+// error).
+func buildConflicts(spec *ConflictsSpec, n int, nameIndex func(string) (int, error)) (*rtmac.ConflictGraph, error) {
+	if spec == nil {
+		return nil, nil
+	}
+	mode := spec.mode()
+	if mode != "edges" && (len(spec.Edges) > 0 || len(spec.Names) > 0) {
+		return nil, fmt.Errorf("scenario: conflicts mode %q does not take edges", mode)
+	}
+	if mode != "cliques" && len(spec.Cliques) > 0 {
+		return nil, fmt.Errorf("scenario: conflicts mode %q does not take cliques", mode)
+	}
+	switch mode {
+	case "complete":
+		return rtmac.CompleteConflicts(n)
+	case "none":
+		return rtmac.NewConflictGraph(n, nil)
+	case "edges":
+		edges := spec.Edges
+		if len(spec.Names) > 0 {
+			if nameIndex == nil {
+				return nil, fmt.Errorf("scenario: named conflict edges need a topology document")
+			}
+			edges = append([][2]int(nil), edges...)
+			for _, pair := range spec.Names {
+				a, err := nameIndex(pair[0])
+				if err != nil {
+					return nil, fmt.Errorf("scenario: conflicts: %w", err)
+				}
+				b, err := nameIndex(pair[1])
+				if err != nil {
+					return nil, fmt.Errorf("scenario: conflicts: %w", err)
+				}
+				if a == b {
+					return nil, fmt.Errorf("scenario: conflicts: link %q conflicts with itself", pair[0])
+				}
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+		return rtmac.NewConflictGraph(n, edges)
+	case "cliques":
+		return rtmac.CliqueConflicts(n, spec.Cliques)
+	default:
+		return nil, fmt.Errorf("scenario: unknown conflicts mode %q", mode)
+	}
 }
 
 // FadingSpec mirrors rtmac.Fading.
@@ -157,10 +247,15 @@ func Build(doc Document) (rtmac.Config, int, error) {
 			})
 		}
 	}
+	conflicts, err := buildConflicts(doc.Conflicts, len(links), nil)
+	if err != nil {
+		return rtmac.Config{}, 0, err
+	}
 	cfg := rtmac.Config{
 		Seed:          doc.Seed,
 		Profile:       profile,
 		Links:         links,
+		Conflicts:     conflicts,
 		Protocol:      protocol,
 		SnapshotEvery: doc.Snapshots.Every,
 	}

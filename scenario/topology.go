@@ -39,6 +39,9 @@ type TopologyDocument struct {
 	Links        []NamedLink   `json:"links"`
 	Snapshots    SnapshotsSpec `json:"snapshots"`
 	Fading       *FadingSpec   `json:"fading,omitempty"`
+	// Conflicts declares the interference graph; names in its "names" list
+	// refer to declared link names. Absent means the complete graph.
+	Conflicts *ConflictsSpec `json:"conflicts,omitempty"`
 }
 
 // NamedLink is one directed link between declared nodes.
@@ -103,10 +106,15 @@ func BuildTopology(doc TopologyDocument) (rtmac.Config, *topology.Network, int, 
 	if err != nil {
 		return rtmac.Config{}, nil, 0, err
 	}
+	conflicts, err := buildConflicts(doc.Conflicts, len(links), net.LinkIndex)
+	if err != nil {
+		return rtmac.Config{}, nil, 0, err
+	}
 	cfg := rtmac.Config{
 		Seed:          doc.Seed,
 		Profile:       profile,
 		Links:         links,
+		Conflicts:     conflicts,
 		Protocol:      protocol,
 		SnapshotEvery: doc.Snapshots.Every,
 	}

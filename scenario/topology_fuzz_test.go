@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"rtmac"
+)
+
+// conflictTopologyJSON is a well-formed named-topology document exercising
+// the conflicts section, including deliberately duplicated and reversed
+// pairs (both idempotent by the symmetrize-and-dedup rule).
+const conflictTopologyJSON = `{
+  "seed": 1, "intervals": 2,
+  "profile": {"preset": "control"},
+  "protocol": {"name": "dbdp"},
+  "accessPoints": ["ap"],
+  "clients": ["c1", "c2", "c3"],
+  "links": [
+    {"name": "l1", "from": "c1", "to": "ap", "successProb": 0.7,
+     "arrivals": {"type": "fixed", "param": 1}, "deliveryRatio": 0.9},
+    {"name": "l2", "from": "c2", "to": "ap", "successProb": 0.7,
+     "arrivals": {"type": "fixed", "param": 1}, "deliveryRatio": 0.9},
+    {"name": "l3", "from": "ap", "to": "c3", "successProb": 0.7,
+     "arrivals": {"type": "fixed", "param": 1}, "deliveryRatio": 0.9}
+  ],
+  "conflicts": {"names": [["l1", "l2"], ["l2", "l1"], ["l1", "l2"]]}
+}`
+
+// FuzzDecodeTopology feeds arbitrary bytes through the named-topology loader
+// with special attention to the conflicts section: self-conflicts and
+// unknown link names must be rejected cleanly, duplicate and reversed edges
+// must be idempotent, and every accepted document must compile into a
+// simulation whose conflict graph is symmetric and covers exactly the
+// declared links — never a panic.
+func FuzzDecodeTopology(f *testing.F) {
+	f.Add(conflictTopologyJSON)
+	f.Add(strings.Replace(conflictTopologyJSON,
+		`[["l1", "l2"], ["l2", "l1"], ["l1", "l2"]]`, `[["l1", "l1"]]`, 1))
+	f.Add(strings.Replace(conflictTopologyJSON,
+		`[["l1", "l2"], ["l2", "l1"], ["l1", "l2"]]`, `[["l1", "ghost"]]`, 1))
+	f.Add(strings.Replace(conflictTopologyJSON,
+		`"names": [["l1", "l2"], ["l2", "l1"], ["l1", "l2"]]`,
+		`"mode": "cliques", "cliques": [[0, 1], [2]]`, 1))
+	f.Add(strings.Replace(conflictTopologyJSON,
+		`"names": [["l1", "l2"], ["l2", "l1"], ["l1", "l2"]]`, `"mode": "none"`, 1))
+	f.Add(strings.Replace(conflictTopologyJSON,
+		`"names": [["l1", "l2"], ["l2", "l1"], ["l1", "l2"]]`,
+		`"mode": "complete", "edges": [[0, 1]]`, 1))
+	f.Add(`{"accessPoints": ["ap"], "clients": [], "links": []}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		cfg, _, intervals, err := LoadTopology(strings.NewReader(raw))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if intervals <= 0 {
+			t.Fatalf("accepted document with intervals %d", intervals)
+		}
+		if g := cfg.Conflicts; g != nil {
+			if g.Links() != len(cfg.Links) {
+				t.Fatalf("conflict graph covers %d links, document declares %d",
+					g.Links(), len(cfg.Links))
+			}
+			n := g.Links()
+			if n > 64 {
+				n = 64 // bound the quadratic sweep on adversarial documents
+			}
+			for a := 0; a < n; a++ {
+				if !g.Conflicts(a, a) {
+					t.Fatalf("link %d does not conflict with itself", a)
+				}
+				for b := a + 1; b < n; b++ {
+					if g.Conflicts(a, b) != g.Conflicts(b, a) {
+						t.Fatalf("asymmetric conflict between %d and %d", a, b)
+					}
+				}
+			}
+		}
+		sim, err := rtmac.NewSimulation(cfg)
+		if err != nil {
+			return // the config layer rejected it cleanly
+		}
+		if err := sim.Run(1); err != nil {
+			t.Fatalf("accepted config failed to run: %v", err)
+		}
+	})
+}
+
+// TestConflictTopologyValidation pins the loader's error paths the fuzz
+// corpus seeds: self-conflicts and unknown names are rejected, duplicates
+// and reversed pairs collapse to one edge.
+func TestConflictTopologyValidation(t *testing.T) {
+	cfg, _, _, err := LoadTopology(strings.NewReader(conflictTopologyJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Conflicts == nil {
+		t.Fatal("conflicts section did not produce a graph")
+	}
+	if got := cfg.Conflicts.Edges(); got != 1 {
+		t.Errorf("duplicate and reversed pairs should collapse to 1 edge, got %d", got)
+	}
+	if !cfg.Conflicts.Conflicts(0, 1) || cfg.Conflicts.Conflicts(0, 2) {
+		t.Error("wrong edge set after dedup")
+	}
+	for _, bad := range []struct{ name, repl string }{
+		{"self-conflict", `[["l1", "l1"]]`},
+		{"unknown-name", `[["l1", "ghost"]]`},
+	} {
+		doc := strings.Replace(conflictTopologyJSON,
+			`[["l1", "l2"], ["l2", "l1"], ["l1", "l2"]]`, bad.repl, 1)
+		if _, _, _, err := LoadTopology(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: document accepted, want error", bad.name)
+		}
+	}
+}
