@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke conflict-smoke serve-smoke journeys-smoke ledger-smoke health-smoke rundiff-smoke fuzz cover clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate figures figures-quick telemetry-smoke monitor-smoke conflict-smoke serve-smoke journeys-smoke ledger-smoke health-smoke rundiff-smoke watch-smoke fuzz cover clean
 
 all: build vet test
 
@@ -194,8 +194,33 @@ rundiff-smoke:
 		> /tmp/rtmac-rundiff/journeys.txt; test $$? -eq 1
 	grep -q 'delivery ratio' /tmp/rtmac-rundiff/journeys.txt
 
+# End-to-end check of the SLO conformance plane. The feasible factory
+# scenario must run -watch clean (zero alerts), feascheck -json must agree it
+# is feasible and emit the requirement vector, and rtmacwatch must audit the
+# recorded stream clean against those targets (exit 0). A replay of the same
+# scenario with an injected arrival burst must raise an alert (exit 1
+# exactly — 2 would be a tool failure) and leave a non-empty alert artifact
+# containing the expiry spike.
+watch-smoke:
+	$(GO) run ./cmd/rtmacsim -config scenarios/factory.json -watch \
+		-events /tmp/rtmac-watch-events.jsonl | tee /tmp/rtmac-watch.out
+	grep -q 'no SLO alerts' /tmp/rtmac-watch.out
+	$(GO) run ./cmd/feascheck -config scenarios/factory.json -json > /tmp/rtmac-watch-slo.json
+	grep -q '"feasible": true' /tmp/rtmac-watch-slo.json
+	$(GO) run ./cmd/rtmacwatch -check -slo /tmp/rtmac-watch-slo.json /tmp/rtmac-watch-events.jsonl
+	$(GO) run ./cmd/rtmacsim -config scenarios/factory.json -watch \
+		-perturb-interval 600 -perturb-link 0 -perturb-extra 40 \
+		-events /tmp/rtmac-watch-perturbed.jsonl | tee /tmp/rtmac-watch-perturbed.out
+	grep -q 'expiry_spike' /tmp/rtmac-watch-perturbed.out
+	$(GO) run ./cmd/rtmacwatch -check -alerts /tmp/rtmac-watch-alerts.jsonl \
+		-scenario scenarios/factory.json /tmp/rtmac-watch-perturbed.jsonl \
+		> /tmp/rtmac-watch-verdict.out; test $$? -eq 1
+	test -s /tmp/rtmac-watch-alerts.jsonl
+	grep -q 'expiry_spike' /tmp/rtmac-watch-alerts.jsonl
+
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./scenario
+	$(GO) test -fuzz=FuzzDecodeSLO -fuzztime=30s ./scenario
 	$(GO) test -fuzz=FuzzDecodeTopology -fuzztime=30s ./scenario
 	$(GO) test -fuzz=FuzzRankUnrank -fuzztime=30s ./internal/perm
 	$(GO) test -fuzz=FuzzAdjacentSwapCodec -fuzztime=30s ./internal/perm

@@ -7,9 +7,15 @@
 //
 //	feascheck -profile video -links 20 -p 0.7 -arrivals video -rate 0.55 \
 //	          -ratio 0.9 -frontier
+//
+// With -json the assessment is emitted as one machine-readable document
+// carrying the per-link requirement vector (the SLO targets `rtmacwatch
+// -slo` consumes) and the slot margin. Exit codes are unified with the other
+// tools: 0 feasible, 1 infeasible, 2 usage or I/O error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +26,23 @@ import (
 	"rtmac/internal/phy"
 	"rtmac/scenario"
 )
+
+// report is the -json document: the feasibility verdict plus the requirement
+// vector, ready to be fed to `rtmacwatch -slo`.
+type report struct {
+	Source                string                  `json:"source"`
+	Profile               string                  `json:"profile"`
+	Links                 int                     `json:"links"`
+	CapacitySlots         int                     `json:"capacity_slots"`
+	WorkloadSlots         float64                 `json:"workload_slots"`
+	MarginSlots           float64                 `json:"margin_slots"`
+	NecessaryBoundsOK     bool                    `json:"necessary_bounds_ok"`
+	NecessaryBoundsReason string                  `json:"necessary_bounds_reason,omitempty"`
+	ProbeDeficiency       float64                 `json:"probe_deficiency"`
+	Feasible              bool                    `json:"feasible"`
+	Frontier              float64                 `json:"frontier,omitempty"`
+	PerLink               []rtmac.FeasibilityLink `json:"per_link"`
+}
 
 func main() {
 	var (
@@ -33,133 +56,178 @@ func main() {
 		intervals   = flag.Int("intervals", 3000, "probe length in intervals")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		frontier    = flag.Bool("frontier", false, "binary-search the feasible scale of the requirement vector")
-		subsets     = flag.Bool("subsets", false, "scan subset-level necessary bounds (links ≤ 14)")
+		subsets     = flag.Bool("subsets", false, "scan subset-level necessary bounds (links ≤ 14, uniform mode only)")
+		jsonOut     = flag.Bool("json", false, "emit the assessment as one JSON document")
 	)
 	flag.Parse()
 
+	var (
+		cfg    rtmac.Config
+		source string
+		err    error
+	)
 	if *configPath != "" {
-		checkConfig(*configPath, *intervals, *frontier)
-		return
+		source = *configPath
+		cfg, _, _, err = scenario.LoadAnyFile(*configPath)
+	} else {
+		source = "flags"
+		cfg, err = uniformConfig(*profileName, *links, *p, *arrName, *rate, *ratio, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	res, err := rtmac.CheckFeasibility(cfg, *intervals)
+	if err != nil {
+		fatal(err)
+	}
+	doc := report{
+		Source:                source,
+		Profile:               cfg.Profile.Name(),
+		Links:                 len(cfg.Links),
+		CapacitySlots:         res.CapacitySlots,
+		WorkloadSlots:         res.WorkloadSlots,
+		MarginSlots:           float64(res.CapacitySlots) - res.WorkloadSlots,
+		NecessaryBoundsOK:     res.NecessaryBoundsOK,
+		NecessaryBoundsReason: res.NecessaryBoundsReason,
+		ProbeDeficiency:       res.ProbeDeficiency,
+		Feasible:              res.Feasible,
+		PerLink:               res.PerLink,
+	}
+	if *frontier {
+		gamma, err := rtmac.CapacityFrontier(cfg, *intervals)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Frontier = gamma
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	} else {
+		printHuman(doc)
+		if *subsets {
+			if *configPath != "" {
+				fatal(fmt.Errorf("-subsets supports only the uniform-network flags"))
+			}
+			printSubsets(*profileName, *links, *p, *arrName, *rate, *ratio, *seed)
+		}
+	}
+	if !doc.Feasible {
+		os.Exit(1)
+	}
+}
+
+// uniformConfig assembles the symmetric network the CLI flags describe
+// through the public API, so the assessment shares NewSimulation's
+// validation path.
+func uniformConfig(profileName string, links int, p float64, arrName string, rate, ratio float64, seed uint64) (rtmac.Config, error) {
+	var profile rtmac.Profile
+	switch profileName {
+	case "video":
+		profile = rtmac.VideoProfile()
+	case "control":
+		profile = rtmac.ControlProfile()
+	default:
+		return rtmac.Config{}, fmt.Errorf("unknown profile %q", profileName)
+	}
+	var arr rtmac.Arrivals
+	var err error
+	switch arrName {
+	case "bernoulli":
+		arr, err = rtmac.BernoulliArrivals(rate)
+	case "video":
+		arr, err = rtmac.VideoArrivals(rate)
+	case "fixed":
+		arr = rtmac.FixedArrivals(int(rate))
+	default:
+		err = fmt.Errorf("unknown arrival process %q", arrName)
+	}
+	if err != nil {
+		return rtmac.Config{}, err
+	}
+	if links <= 0 {
+		return rtmac.Config{}, fmt.Errorf("links must be positive, got %d", links)
+	}
+	ls := make([]rtmac.Link, links)
+	for i := range ls {
+		ls[i] = rtmac.Link{SuccessProb: p, Arrivals: arr, DeliveryRatio: ratio}
+	}
+	return rtmac.Config{Seed: seed, Profile: profile, Links: ls}, nil
+}
+
+func printHuman(doc report) {
+	fmt.Printf("%s: profile %s, %d links, workload %.2f of %d slots/interval (margin %.2f)\n",
+		doc.Source, doc.Profile, doc.Links, doc.WorkloadSlots, doc.CapacitySlots, doc.MarginSlots)
+	if len(doc.PerLink) > 0 {
+		fmt.Printf("requirement: q[0] = %.4f packets/interval (use -json for the full vector)\n",
+			doc.PerLink[0].Required)
+	}
+	if doc.NecessaryBoundsOK {
+		fmt.Println("necessary bounds: satisfied")
+	} else {
+		fmt.Printf("necessary bounds: VIOLATED — %s\n", doc.NecessaryBoundsReason)
+	}
+	verdict := "FEASIBLE"
+	if !doc.Feasible {
+		verdict = "INFEASIBLE"
+	}
+	fmt.Printf("LDF probe: deficiency %.4f — empirically %s\n", doc.ProbeDeficiency, verdict)
+	if doc.Frontier != 0 {
+		fmt.Printf("capacity frontier: γ ≈ %.3f (q scaled by γ is the empirical feasibility boundary)\n",
+			doc.Frontier)
+	}
+}
+
+// printSubsets scans subset-level necessary bounds, which need the internal
+// problem form and therefore remain a uniform-flags extra.
+func printSubsets(profileName string, links int, p float64, arrName string, rate, ratio float64, seed uint64) {
 	var profile phy.Profile
-	switch *profileName {
+	switch profileName {
 	case "video":
 		profile = phy.Video()
 	case "control":
 		profile = phy.Control()
-	default:
-		fatal(fmt.Errorf("unknown profile %q", *profileName))
 	}
 	var proc arrival.Process
 	var err error
-	switch *arrName {
+	switch arrName {
 	case "bernoulli":
-		proc, err = arrival.NewBernoulli(*rate)
+		proc, err = arrival.NewBernoulli(rate)
 	case "video":
-		proc, err = arrival.PaperVideo(*rate)
+		proc, err = arrival.PaperVideo(rate)
 	case "fixed":
-		proc = arrival.Deterministic{N: int(*rate)}
-	default:
-		err = fmt.Errorf("unknown arrival process %q", *arrName)
+		proc = arrival.Deterministic{N: int(rate)}
 	}
 	if err != nil {
 		fatal(err)
 	}
-	av, err := arrival.Uniform(*links, proc)
+	av, err := arrival.Uniform(links, proc)
 	if err != nil {
 		fatal(err)
 	}
-	probs := make([]float64, *links)
-	req := make([]float64, *links)
+	probs := make([]float64, links)
+	req := make([]float64, links)
 	for i := range probs {
-		probs[i] = *p
-		req[i] = *ratio * proc.Mean()
+		probs[i] = p
+		req[i] = ratio * proc.Mean()
 	}
-	problem := feasibility.Problem{
-		Profile:     profile,
-		SuccessProb: probs,
-		Arrivals:    av,
-		Required:    req,
+	problem := feasibility.Problem{Profile: profile, SuccessProb: probs, Arrivals: av, Required: req}
+	msg, err := feasibility.SubsetBoundViolation(problem, seed, 4000)
+	if err != nil {
+		fatal(err)
 	}
-
-	fmt.Printf("profile %s: %d transmission slots per %v interval\n",
-		profile.Name, profile.SlotsPerInterval(), profile.Interval)
-	fmt.Printf("requirement: q = %.4f packets/interval per link, workload %.2f slots/interval\n",
-		req[0], feasibility.TotalWorkload(problem))
-
-	if err := feasibility.NecessaryBounds(problem); err != nil {
-		fmt.Printf("necessary bounds: VIOLATED — %v\n", err)
+	if msg == "" {
+		fmt.Println("subset bounds: satisfied")
 	} else {
-		fmt.Println("necessary bounds: satisfied")
-	}
-
-	if *subsets {
-		msg, err := feasibility.SubsetBoundViolation(problem, *seed, 4000)
-		if err != nil {
-			fatal(err)
-		}
-		if msg == "" {
-			fmt.Println("subset bounds: satisfied")
-		} else {
-			fmt.Printf("subset bounds: VIOLATED — %s\n", msg)
-		}
-	}
-
-	res, err := feasibility.Probe(problem, feasibility.ProbeConfig{Seed: *seed, Intervals: *intervals})
-	if err != nil {
-		fatal(err)
-	}
-	verdict := "FEASIBLE"
-	if !res.Feasible {
-		verdict = "INFEASIBLE"
-	}
-	fmt.Printf("LDF probe (%d intervals): deficiency %.4f — empirically %s\n",
-		res.Intervals, res.Deficiency, verdict)
-
-	if *frontier {
-		gamma, err := feasibility.Frontier(problem,
-			feasibility.ProbeConfig{Seed: *seed, Intervals: *intervals}, 0.05, 2.0, 12)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("capacity frontier: γ ≈ %.3f (q scaled by γ is the empirical feasibility boundary)\n", gamma)
-	}
-}
-
-// checkConfig assesses a JSON scenario through the public API, which
-// supports heterogeneous links.
-func checkConfig(path string, intervals int, frontier bool) {
-	cfg, _, err := scenario.LoadFile(path)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := rtmac.CheckFeasibility(cfg, intervals)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("scenario %s: workload %.2f of %d slots/interval\n",
-		path, res.WorkloadSlots, res.CapacitySlots)
-	if res.NecessaryBoundsOK {
-		fmt.Println("necessary bounds: satisfied")
-	} else {
-		fmt.Printf("necessary bounds: VIOLATED — %s\n", res.NecessaryBoundsReason)
-	}
-	verdict := "FEASIBLE"
-	if !res.Feasible {
-		verdict = "INFEASIBLE"
-	}
-	fmt.Printf("LDF probe: deficiency %.4f — empirically %s\n", res.ProbeDeficiency, verdict)
-	if frontier {
-		gamma, err := rtmac.CapacityFrontier(cfg, intervals)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("capacity frontier: γ ≈ %.3f\n", gamma)
+		fmt.Printf("subset bounds: VIOLATED — %s\n", msg)
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "feascheck:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

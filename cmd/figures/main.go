@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"rtmac/internal/ledger"
 	"rtmac/internal/obs"
 	"rtmac/internal/telemetry"
+	"rtmac/internal/watch"
 )
 
 func main() {
@@ -49,6 +51,8 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		healthFlag  = flag.Bool("health", false, "sample runtime health (GC pauses, heap, scheduler latency) during the sweep; summary lands in the ledger manifest and on /api/health when -serve is active")
 		profileRing = flag.String("profilering", "", "continuously capture CPU+heap pprof snapshots into a bounded ring in DIR (implies -health)")
+		watchFlag   = flag.Bool("watch", false, "run the SLO conformance watch engine inside every simulation and report the cross-sweep alert tally (informational: sweep points cross the capacity frontier by design, so alerts are expected)")
+		sloBudget   = flag.Float64("slo-budget", 0, "deadline-miss budget fraction for the watch engine (default 0.1); setting it implies -watch")
 	)
 	flag.Parse()
 	if *profileRing != "" {
@@ -87,6 +91,13 @@ func main() {
 		Seeds:         *seeds,
 		IntervalScale: *scale,
 		Monitor:       *monitor,
+	}
+	var tally *watch.Tally
+	if *watchFlag || *sloBudget != 0 {
+		tally = &watch.Tally{}
+		opts.Watch = true
+		opts.WatchBudget = *sloBudget
+		opts.WatchTally = tally
 	}
 	if *seedList != "" {
 		for _, part := range strings.Split(*seedList, ",") {
@@ -265,6 +276,27 @@ func main() {
 			sum.Samples, float64(sum.HeapLivePeakBytes)/(1<<20), sum.GoroutinePeak,
 			sum.GCPauses, time.Duration(sum.GCPauseTotalNS).Round(time.Microsecond),
 			time.Duration(sum.GCPauseMaxNS).Round(time.Microsecond))
+	}
+	if tally != nil {
+		sum := tally.Summary()
+		if manifest != nil {
+			manifest.Watch = sum
+		}
+		detail := ""
+		if len(sum.ByDetector) > 0 {
+			names := make([]string, 0, len(sum.ByDetector))
+			for d := range sum.ByDetector {
+				names = append(names, d)
+			}
+			sort.Strings(names)
+			parts := make([]string, len(names))
+			for i, d := range names {
+				parts[i] = fmt.Sprintf("%s=%d", d, sum.ByDetector[d])
+			}
+			detail = " (" + strings.Join(parts, " ") + ")"
+		}
+		fmt.Fprintf(os.Stderr, "watch: %d SLO alerts across %d simulations%s — informational; sweep points cross the capacity frontier by design\n",
+			tally.Alerts(), tally.Runs(), detail)
 	}
 	if recorder != nil {
 		scenario := "figures"

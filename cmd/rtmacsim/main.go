@@ -72,6 +72,8 @@ func main() {
 		slotBudget = flag.Duration("slot-budget", 0, "wall-clock budget per simulated interval for the -health watchdog (default: one simulated interval; negative disables the watchdog)")
 		checkhlth  = flag.String("checkhealth", "", "validate an /api/health JSON document saved to this file, then exit")
 		recordDiff = flag.String("record-for-diff", "", "record everything rundiff aligns on: events to PREFIX.events.jsonl and full-sample journeys to PREFIX.journeys.jsonl (overrides -events/-journeys/-journey-sample)")
+		watchOn    = flag.Bool("watch", false, "run the SLO conformance engine over the live event stream: burn-rate, delivery CUSUM, debt-drift and expiry-spike detectors against the requirement vector (or the scenario's slo section); alerts flow into the event stream and /api/alerts")
+		sloBudget  = flag.Float64("slo-budget", 0, "deadline-miss budget for the -watch burn-rate detector, as a fraction of each link's target (0 = scenario's slo budget, or the default 0.1)")
 		perturbK   = flag.Int64("perturb-interval", -1, "inject one extra packet arrival at this interval (0-based; -1 = off); with -record-for-diff this is the rundiff divergence drill")
 		perturbLnk = flag.Int("perturb-link", 0, "link receiving the -perturb-interval injection")
 		perturbN   = flag.Int("perturb-extra", 1, "packets injected by -perturb-interval")
@@ -127,6 +129,8 @@ func main() {
 	healthEnabled = *healthOn || *ringDir != ""
 	profileRingDir = *ringDir
 	healthSlotBudget = *slotBudget
+	watchEnabled = *watchOn || *sloBudget != 0
+	watchSLOBudget = *sloBudget
 	if *recordDiff != "" {
 		eventsPath = *recordDiff + ".events.jsonl"
 		journeysPath = *recordDiff + ".journeys.jsonl"
@@ -193,6 +197,8 @@ var (
 	healthEnabled    bool
 	profileRingDir   string
 	healthSlotBudget time.Duration
+	watchEnabled     bool
+	watchSLOBudget   float64
 	perturbSpec      *rtmac.Perturbation
 	topo             *topology.Network
 )
@@ -283,6 +289,14 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 			fmt.Println("health: runtime collector + slot-budget watchdog on")
 		}
 	}
+	var wtch *rtmac.Watch
+	if watchEnabled {
+		wtch, err = sim.EnableWatch(rtmac.WatchConfig{Budget: watchSLOBudget})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("watch: SLO conformance engine on (burn rate, delivery CUSUM, debt drift, expiry spike)")
+	}
 	var obsrv *rtmac.Observability
 	if serveAddr != "" {
 		obsrv, err = sim.ServeObservability(serveAddr, intervals)
@@ -316,6 +330,9 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 		// violating window is exactly what the flight recorder retains.
 		dumpFlightRecorder(mon)
 		reportViolations(mon)
+	}
+	if runErr != nil && wtch != nil {
+		reportAlerts(wtch)
 	}
 	if runErr != nil {
 		if trace != nil {
@@ -369,6 +386,9 @@ func runAndReport(cfg rtmac.Config, intervals int) {
 	if mon != nil {
 		dumpFlightRecorder(mon)
 		reportViolations(mon)
+	}
+	if wtch != nil {
+		reportAlerts(wtch)
 	}
 	if hp != nil && serveAddr == "" {
 		// Final collector round before manifests are stamped; with -serve the
@@ -585,6 +605,19 @@ func reportViolations(mon *rtmac.Monitor) {
 	}
 }
 
+// reportAlerts prints the watch engine's verdict: a clean-bill line when no
+// detector fired, otherwise the counts plus the retained transitions.
+func reportAlerts(w *rtmac.Watch) {
+	if w.Count() == 0 {
+		fmt.Println("watch: no SLO alerts")
+		return
+	}
+	fmt.Printf("watch: %d SLO alerts (%d still firing)\n", w.Count(), w.Firing())
+	for _, a := range w.Alerts() {
+		fmt.Printf("  %s\n", a)
+	}
+}
+
 // checkEvents audits a JSONL event file end to end: every line must parse,
 // at least one event must be present, and the recorded run must pass the
 // invariant checkers (offline, with the monitoring configuration inferred
@@ -608,7 +641,7 @@ func checkEvents(path string) error {
 		kinds[ev.Kind]++
 	}
 	fmt.Printf("%s: %d events ok (", path, len(events))
-	for i, kind := range []string{"tx", "interval", "swap", "debt", "backoff", "prio", "violation"} {
+	for i, kind := range []string{"tx", "interval", "swap", "debt", "backoff", "prio", "violation", "alert"} {
 		if i > 0 {
 			fmt.Print(", ")
 		}

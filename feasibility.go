@@ -26,6 +26,23 @@ type FeasibilityResult struct {
 	ProbeDeficiency float64
 	// Feasible is the empirical verdict: the probe deficiency vanished.
 	Feasible bool
+	// PerLink is the requirement vector with its inputs, one entry per link
+	// — the machine-readable SLO targets `feascheck -json` emits and
+	// `rtmacwatch -slo` consumes.
+	PerLink []FeasibilityLink
+}
+
+// FeasibilityLink is one link's requirement-vector entry.
+type FeasibilityLink struct {
+	// Link is the link index.
+	Link int `json:"link"`
+	// Required is q_n = ρ_n·λ_n, delivered packets per interval.
+	Required float64 `json:"required"`
+	// SuccessProb is the per-transmission delivery probability the
+	// assessment used (the fading model's stationary mean under fading).
+	SuccessProb float64 `json:"success_prob"`
+	// ArrivalRate is λ_n, expected packet arrivals per interval.
+	ArrivalRate float64 `json:"arrival_rate"`
 }
 
 // CheckFeasibility assesses whether cfg's timely-throughput requirements are
@@ -43,6 +60,15 @@ func CheckFeasibility(cfg Config, probeIntervals int) (FeasibilityResult, error)
 		WorkloadSlots:     feasibility.TotalWorkload(problem),
 		CapacitySlots:     cfg.Profile.SlotsPerInterval(),
 		NecessaryBoundsOK: true,
+		PerLink:           make([]FeasibilityLink, len(cfg.Links)),
+	}
+	for i := range cfg.Links {
+		res.PerLink[i] = FeasibilityLink{
+			Link:        i,
+			Required:    problem.Required[i],
+			SuccessProb: problem.SuccessProb[i],
+			ArrivalRate: cfg.Links[i].Arrivals.proc.Mean(),
+		}
 	}
 	if err := feasibility.NecessaryBounds(problem); err != nil {
 		res.NecessaryBoundsOK = false
@@ -101,6 +127,17 @@ func ProtocolCapacity(cfg Config, protocol Protocol, probeIntervals int) (float6
 		return 0, fmt.Errorf("rtmac: %w", err)
 	}
 	return gamma, nil
+}
+
+// RequirementVector computes cfg's per-link timely-throughput requirement
+// vector q_n = ρ_n·λ_n — the SLO targets the watch plane defaults to —
+// reusing the same validation path as NewSimulation.
+func RequirementVector(cfg Config) ([]float64, error) {
+	problem, err := toProblem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return problem.Required, nil
 }
 
 // toProblem converts a public configuration into the internal feasibility

@@ -32,6 +32,7 @@ import (
 	"rtmac/internal/phy"
 	"rtmac/internal/stats"
 	"rtmac/internal/telemetry"
+	"rtmac/internal/watch"
 )
 
 // ProgressTracker receives figure- and job-level completion callbacks during
@@ -90,6 +91,16 @@ type RunOptions struct {
 	// Recorder, when non-nil, captures every aggregated figure point as a
 	// mergeable partial for the run ledger. A nil recorder costs nothing.
 	Recorder *ledger.Recorder
+	// Watch attaches the SLO conformance engine to every simulation. Alerts
+	// never fail a figure — sweeps deliberately cross the capacity frontier —
+	// but they are counted into WatchTally and the shared telemetry registry.
+	Watch bool
+	// WatchBudget is the deadline-miss burn-rate budget (0 selects the watch
+	// package default).
+	WatchBudget float64
+	// WatchTally, when non-nil alongside Watch, accumulates alert counts
+	// across every simulation in the run.
+	WatchTally *watch.Tally
 }
 
 // syncWriter serializes writes so many workers can share one Progress
@@ -302,6 +313,9 @@ func runOne(sc scenario, spec protocolSpec, seed uint64, opts RunOptions) (runOu
 		return runOut{}, err
 	}
 	delay.Attach(nw.Medium())
+	// The event-sink chain grows as options stack: monitor and watch engine
+	// ride alongside whatever external stream the caller already attached.
+	sinks := make(telemetry.MultiSink, 0, 3)
 	if opts.Monitor {
 		mon, err := monitor.New(monitor.Config{
 			Links:         len(sc.successProb),
@@ -314,15 +328,38 @@ func runOne(sc scenario, spec protocolSpec, seed uint64, opts RunOptions) (runOu
 		if err != nil {
 			return runOut{}, fmt.Errorf("experiment: %s: %w", spec.label, err)
 		}
-		if opts.Events != nil { // keep the external stream alongside the monitor
-			nw.SetEventSink(telemetry.MultiSink{mon, opts.Events})
-		} else {
-			nw.SetEventSink(mon)
-		}
+		sinks = append(sinks, mon)
 		nw.SetIntervalCheck(mon.Err)
+	}
+	var eng *watch.Engine
+	if opts.Watch {
+		eng, err = watch.New(watch.Config{
+			Links:    len(sc.successProb),
+			Required: sc.required,
+			Budget:   opts.WatchBudget,
+			Registry: nw.Telemetry(),
+			Output:   opts.Events, // alerts join the external stream, if any
+		})
+		if err != nil {
+			return runOut{}, fmt.Errorf("experiment: %s: %w", spec.label, err)
+		}
+		sinks = append(sinks, eng)
+	}
+	if len(sinks) > 0 {
+		if opts.Events != nil { // keep the external stream alongside
+			sinks = append(sinks, opts.Events)
+		}
+		if len(sinks) == 1 {
+			nw.SetEventSink(sinks[0])
+		} else {
+			nw.SetEventSink(sinks)
+		}
 	}
 	if err := nw.Run(sc.intervals); err != nil {
 		return runOut{}, err
+	}
+	if eng != nil && opts.WatchTally != nil {
+		opts.WatchTally.Merge(eng)
 	}
 	return runOut{col: col, delay: delay, prot: prot}, nil
 }

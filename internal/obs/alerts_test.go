@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestAlertsEndpointWithoutProvider(t *testing.T) {
+	_, srv := newTestPlane(t)
+	code, _ := get(t, srv.URL+"/api/alerts")
+	if code != http.StatusNotFound {
+		t.Fatalf("/api/alerts without provider: status %d, want 404", code)
+	}
+}
+
+func TestAlertsEndpointServesProviderDocument(t *testing.T) {
+	p, srv := newTestPlane(t)
+	p.SetAlertsProvider(func() any {
+		return map[string]any{
+			"enabled": true,
+			"alerts":  2,
+			"firing":  1,
+			"recent": []map[string]any{
+				{"detector": "debt_drift", "state": "firing", "k": 499},
+			},
+		}
+	})
+	code, body := get(t, srv.URL+"/api/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("/api/alerts status %d", code)
+	}
+	var doc struct {
+		Enabled bool  `json:"enabled"`
+		Alerts  int64 `json:"alerts"`
+		Firing  int   `json:"firing"`
+		Recent  []struct {
+			Detector string `json:"detector"`
+			State    string `json:"state"`
+			K        int64  `json:"k"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if !doc.Enabled || doc.Alerts != 2 || doc.Firing != 1 ||
+		len(doc.Recent) != 1 || doc.Recent[0].Detector != "debt_drift" {
+		t.Fatalf("document mismatch: %+v", doc)
+	}
+}
+
+// TestDashboardCarriesAlertsPanel pins the dashboard's alerts panel markup so
+// a refactor cannot silently drop the watch surface from the UI.
+func TestDashboardCarriesAlertsPanel(t *testing.T) {
+	_, srv := newTestPlane(t)
+	code, body := get(t, srv.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("dashboard status %d", code)
+	}
+	for _, want := range []string{"alertshead", "refreshAlerts", "/api/alerts"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard HTML missing %q", want)
+		}
+	}
+}

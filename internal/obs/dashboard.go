@@ -38,6 +38,9 @@ td, th { border: 1px solid #2c3440; padding: .25rem .6rem; text-align: left; }
 <table id="links" style="display:none"></table>
 <h2 id="healthhead" style="display:none">Runtime health</h2>
 <table id="health" style="display:none"></table>
+<h2 id="alertshead" style="display:none">SLO alerts</h2>
+<p id="alertsum" style="display:none"></p>
+<table id="alerts" style="display:none"></table>
 <h2>Event stream</h2>
 <div id="events"></div>
 <script>
@@ -157,12 +160,46 @@ async function refreshHealth() {
     tbl.innerHTML = rows.join('');
   } catch (e) { /* keep polling */ }
 }
+async function refreshAlerts() {
+  try {
+    const r = await fetch('/api/alerts');
+    if (!r.ok) return;
+    const b = await r.json();
+    if (!b.enabled) return;
+    document.getElementById('alertshead').style.display = '';
+    const sum = document.getElementById('alertsum');
+    sum.style.display = '';
+    const byDet = Object.entries(b.by_detector || {})
+      .map(([d, n]) => d + ' ' + n).join(' · ');
+    sum.innerHTML = (b.firing
+      ? '<b style="color:#ff6b6b">' + b.firing + ' firing</b>'
+      : '<span style="color:#3fb950">all SLOs met</span>') +
+      ' · ' + b.alerts + ' fired over ' + b.intervals + ' intervals' +
+      ' · budget ' + (100 * b.budget).toFixed(0) + '%' +
+      (byDet ? ' · ' + byDet : '');
+    const tbl = document.getElementById('alerts');
+    tbl.style.display = '';
+    const rows = ['<tr><th>k</th><th>detector</th><th>severity</th><th>state</th>' +
+      '<th>scope</th><th>link</th><th>evidence</th></tr>'];
+    for (const a of (b.recent || []).slice(-20).reverse()) {
+      const color = a.state === 'firing'
+        ? (a.severity === 'critical' ? '#ff6b6b' : '#d4a72c') : '#3fb950';
+      rows.push('<tr><td>' + a.k + '</td><td>' + esc(a.detector) + '</td><td>' +
+        esc(a.severity) + '</td><td style="color:' + color + '">' + esc(a.state) +
+        '</td><td>' + esc(a.scope) + '</td><td>' + (a.link < 0 ? '—' : a.link) +
+        '</td><td>' + esc(a.msg) + '</td></tr>');
+    }
+    tbl.innerHTML = rows.join('');
+  } catch (e) { /* no watch engine attached; keep polling */ }
+}
 refresh();
 refreshLinks();
 refreshHealth();
+refreshAlerts();
 setInterval(refresh, 2000);
 setInterval(refreshLinks, 2000);
 setInterval(refreshHealth, 2000);
+setInterval(refreshAlerts, 2000);
 const log = document.getElementById('events');
 const es = new EventSource('/events');
 es.onmessage = ev => {

@@ -47,6 +47,10 @@ type Plane struct {
 	// references (the differential view of two recorded runs). Opaque JSON,
 	// decoupling obs from the ledger's diff schema.
 	compare func(refA, refB string) any
+	// alerts, when set, produces the /api/alerts document (the watch
+	// engine's live SLO conformance board: firing/resolved transitions and
+	// per-detector counts). Opaque JSON, decoupling obs from internal/watch.
+	alerts func() any
 }
 
 // SetLinksProvider installs the /api/links document source. A nil provider
@@ -62,6 +66,10 @@ func (p *Plane) SetRunsProvider(fn func() any) { p.runs = fn }
 // parameters (defaulting to latest~1 and latest). A nil provider (or none)
 // makes the endpoint answer 404.
 func (p *Plane) SetCompareProvider(fn func(refA, refB string) any) { p.compare = fn }
+
+// SetAlertsProvider installs the /api/alerts document source. A nil provider
+// (or none) makes the endpoint answer 404.
+func (p *Plane) SetAlertsProvider(fn func() any) { p.alerts = fn }
 
 // SetHealthProvider installs the /api/health document source. Without one
 // the endpoint serves a minimal {"enabled": false} document — unlike links
@@ -88,6 +96,7 @@ func (p *Plane) Handler() http.Handler {
 	mux.HandleFunc("/api/links", p.handleLinks)
 	mux.HandleFunc("/api/runs", p.handleRuns)
 	mux.HandleFunc("/api/health", p.handleHealth)
+	mux.HandleFunc("/api/alerts", p.handleAlerts)
 	mux.HandleFunc("/api/compare", p.handleCompare)
 	mux.HandleFunc("/history", p.handleHistory)
 	mux.HandleFunc("/compare", p.handleComparePage)
@@ -206,6 +215,19 @@ func (p *Plane) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (p *Plane) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	if p.alerts == nil {
+		http.Error(w, "no watch engine attached (run with -watch)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p.alerts()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -77,6 +77,14 @@ const (
 	// Unlike every other kind it reports wall-clock truth, so its presence
 	// is inherently non-deterministic across runs.
 	EventStall = "stall"
+	// EventAlert is an SLO conformance transition reported by the watch
+	// engine (internal/watch): Check names the detector, Msg the evidence
+	// line, Link the subject (-1 for network-wide). Fields: severity
+	// (1 warning, 2 critical), state (1 firing, 0 resolved), value,
+	// threshold, window (intervals of evidence), scope (0 link,
+	// 1 neighborhood, 2 network). Alerts are deterministic functions of the
+	// deterministic event stream, so fixed-seed runs alert identically.
+	EventAlert = "alert"
 )
 
 // Sink consumes events. Implementations must not retain the Fields map

@@ -50,6 +50,27 @@ type Manifest struct {
 	// a slower run with a tripled GC pause total is a runtime story, not a
 	// protocol one.
 	Health *HealthSummary `json:"health,omitempty"`
+	// Watch summarizes SLO conformance (internal/watch) when the watch
+	// engine was enabled; nil otherwise. A durable record with a non-zero
+	// alert count is a run that violated its requirement-vector SLOs, and
+	// says which detector saw it first.
+	Watch *WatchSummary `json:"watch,omitempty"`
+}
+
+// WatchSummary condenses one run's SLO conformance verdict for the manifest
+// and ledger: how many alerts fired, how many were still firing at the end,
+// and the per-detector breakdown. Produced by internal/watch.
+type WatchSummary struct {
+	// Alerts counts firing transitions over the run (resolutions are not
+	// counted; a flapping alert counts each time it re-fires).
+	Alerts int64 `json:"alerts"`
+	// Firing is how many alerts were still in the firing state when the run
+	// ended — the difference between a transient wobble and an unresolved
+	// SLO breach.
+	Firing int `json:"firing"`
+	// ByDetector breaks the alert count down by detector name
+	// (burn_rate, delivery_cusum, debt_drift, expiry_spike).
+	ByDetector map[string]int64 `json:"by_detector,omitempty"`
 }
 
 // HealthSummary condenses one run's runtime-health observations into the few

@@ -30,6 +30,10 @@ func kindExemplars() []Event {
 		{K: 5, At: 12000, Link: -1, Kind: EventStall,
 			Fields: map[string]float64{"budget_ns": 1e6, "elapsed_ns": 3e6,
 				"overrun_ns": 2e6, "gc_pauses": 1, "cause": 1}},
+		{K: 1200, At: 9600000, Link: 3, Kind: EventAlert,
+			Check: "burn_rate", Msg: "link 3 burning 2.1x deadline-miss budget",
+			Fields: map[string]float64{"severity": 2, "state": 1, "value": 2.1,
+				"threshold": 1, "window": 1000, "scope": 0}},
 	}
 }
 
@@ -45,7 +49,7 @@ func TestEventRoundTripAllKinds(t *testing.T) {
 		kinds[ev.Kind] = true
 	}
 	for _, want := range []string{EventTx, EventInterval, EventSwap, EventDebt,
-		EventBackoff, EventPriority, EventViolation, EventStall} {
+		EventBackoff, EventPriority, EventViolation, EventStall, EventAlert} {
 		if !kinds[want] {
 			t.Fatalf("exemplar list missing kind %q", want)
 		}

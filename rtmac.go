@@ -126,6 +126,11 @@ type Config struct {
 	// byte-identical to the unperturbed one until that interval. It exists
 	// to exercise rundiff's first-divergence pointer deterministically.
 	Perturb *Perturbation
+	// SLO, when non-nil, declares the run's conformance objectives for the
+	// watch engine (EnableWatch). Nil is fine: the watch plane defaults to
+	// the feasibility-derived requirement vector q_i with the standard miss
+	// budget, so every scenario has SLOs for free.
+	SLO *SLOConfig
 }
 
 // Perturbation is a one-off fault injection: Extra additional arrivals on
@@ -149,6 +154,8 @@ type Simulation struct {
 	manifest        *telemetry.Manifest
 	journeys        *journey.Tracer
 	health          *Health
+	slo             *SLOConfig
+	watch           *Watch
 	// sinks holds every attached event consumer (JSONL streams, the runtime
 	// monitor, flight recorder, Perfetto exporter) in attach order; the
 	// network sees them as one fan-out.
@@ -237,6 +244,11 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rtmac: %w", err)
 	}
+	if cfg.SLO != nil {
+		if err := cfg.SLO.validate(n); err != nil {
+			return nil, fmt.Errorf("rtmac: %w", err)
+		}
+	}
 	manifest := telemetry.NewManifest("rtmac", cfg.Seed)
 	manifest.Protocol = prot.Name()
 	manifest.Profile = cfg.Profile.p.Name
@@ -250,6 +262,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		conflicts:       cfg.Conflicts,
 		profileInterval: cfg.Profile.p.Interval,
 		manifest:        manifest,
+		slo:             cfg.SLO,
 	}, nil
 }
 
@@ -323,6 +336,9 @@ func CustomProfile(name string, payloadBytes int, rateMbps float64, deadline sim
 // SlotsPerInterval returns how many data exchanges fit in one interval under
 // a contention-free schedule.
 func (p Profile) SlotsPerInterval() int { return p.p.SlotsPerInterval() }
+
+// Name returns the profile's label ("video", "control", or a custom name).
+func (p Profile) Name() string { return p.p.Name }
 
 // Interval returns the deadline T.
 func (p Profile) Interval() sim.Time { return p.p.Interval }

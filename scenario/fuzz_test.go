@@ -37,3 +37,41 @@ func FuzzLoad(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeSLO feeds arbitrary bytes through the scenario slo section: any
+// accepted document must build a simulation whose watch plane either enables
+// cleanly or rejects with an error — never a panic, and never a run failure
+// caused by the SLO declaration alone.
+func FuzzDecodeSLO(f *testing.F) {
+	f.Add(`{"budget": 0.1, "targets": [0.5, 0.5]}`)
+	f.Add(`{"budget": 0.2}`)
+	f.Add(`{"targets": []}`)
+	f.Add(`{"budget": -1}`)
+	f.Add(`{"budget": 1e999}`)
+	f.Add(`{"targets": [1e308, -5]}`)
+	f.Add(`null`)
+	f.Add(`{"targets": [0.1, 0.2, 0.3]}`)
+	f.Fuzz(func(t *testing.T, rawSLO string) {
+		doc := `{"seed": 1, "intervals": 2, "profile": {"preset": "control"},
+			"protocol": {"name": "dbdp"},
+			"links": [{"count": 2, "successProb": 0.7,
+			           "arrivals": {"type": "bernoulli", "param": 0.5}, "deliveryRatio": 0.9}],
+			"slo": ` + rawSLO + `}`
+		cfg, _, err := Load(strings.NewReader(doc))
+		if err != nil {
+			return // rejected cleanly
+		}
+		sim, err := rtmac.NewSimulation(cfg)
+		if err != nil {
+			return // the config layer rejected the SLO cleanly
+		}
+		w, err := sim.EnableWatch(rtmac.WatchConfig{})
+		if err != nil {
+			return // the watch layer rejected the SLO cleanly
+		}
+		if err := sim.Run(2); err != nil {
+			t.Fatalf("accepted SLO broke the run: %v", err)
+		}
+		_ = w.Count()
+	})
+}

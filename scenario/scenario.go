@@ -43,6 +43,33 @@ type Document struct {
 	// partial interference graph; absent means the complete graph (every
 	// pair of links conflicts), the paper's model.
 	Conflicts *ConflictsSpec `json:"conflicts,omitempty"`
+	// SLO, when present, declares the scenario's conformance objectives for
+	// the watch plane (-watch). Absent means the defaults: per-link targets
+	// equal to the feasibility-derived requirement vector q_i with the
+	// standard deadline-miss budget.
+	SLO *SLOSpec `json:"slo,omitempty"`
+}
+
+// SLOSpec mirrors rtmac.SLOConfig in JSON form.
+type SLOSpec struct {
+	// Budget is the deadline-miss budget fraction in [0, 1]; 0 selects the
+	// default (0.1).
+	Budget float64 `json:"budget,omitempty"`
+	// Targets overrides the per-link SLO targets (delivered packets per
+	// interval); when present it must have one entry per link.
+	Targets []float64 `json:"targets,omitempty"`
+}
+
+// buildSLO compiles the spec; validation happens in rtmac.NewSimulation,
+// which knows the link count.
+func buildSLO(spec *SLOSpec) *rtmac.SLOConfig {
+	if spec == nil {
+		return nil
+	}
+	return &rtmac.SLOConfig{
+		Budget:  spec.Budget,
+		Targets: append([]float64(nil), spec.Targets...),
+	}
 }
 
 // ConflictsSpec declares the interference topology as a conflict graph over
@@ -258,6 +285,7 @@ func Build(doc Document) (rtmac.Config, int, error) {
 		Conflicts:     conflicts,
 		Protocol:      protocol,
 		SnapshotEvery: doc.Snapshots.Every,
+		SLO:           buildSLO(doc.SLO),
 	}
 	if doc.Fading != nil {
 		cfg.Fading = &rtmac.Fading{

@@ -42,6 +42,9 @@ type TopologyDocument struct {
 	// Conflicts declares the interference graph; names in its "names" list
 	// refer to declared link names. Absent means the complete graph.
 	Conflicts *ConflictsSpec `json:"conflicts,omitempty"`
+	// SLO declares the conformance objectives for the watch plane; absent
+	// means the feasibility-derived defaults.
+	SLO *SLOSpec `json:"slo,omitempty"`
 }
 
 // NamedLink is one directed link between declared nodes.
@@ -117,6 +120,7 @@ func BuildTopology(doc TopologyDocument) (rtmac.Config, *topology.Network, int, 
 		Conflicts:     conflicts,
 		Protocol:      protocol,
 		SnapshotEvery: doc.Snapshots.Every,
+		SLO:           buildSLO(doc.SLO),
 	}
 	if doc.Fading != nil {
 		cfg.Fading = &rtmac.Fading{

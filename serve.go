@@ -41,6 +41,10 @@ func (s *Simulation) ServeObservability(addr string, plannedIntervals int) (*Obs
 	// plane is attached at request time, and always carries the runtime
 	// identity block for the dashboard header.
 	plane.SetHealthProvider(func() any { return s.healthDoc() })
+	// Also dynamic: /api/alerts reflects whether a watch engine is attached
+	// at request time ({"enabled": false} otherwise), and the engine's board
+	// accessor is mutex-guarded against the simulation goroutine.
+	plane.SetAlertsProvider(func() any { return s.alertBoard() })
 	if err := plane.Start(addr); err != nil {
 		return nil, err
 	}

@@ -119,6 +119,9 @@ func (s *Simulation) Manifest(tool string, extra map[string]string) *Manifest {
 		sum := s.health.Summary()
 		m.Health = &sum
 	}
+	if ws := s.watchSummary(); ws != nil {
+		m.Watch = ws
+	}
 	m.Finish()
 	return &Manifest{m: m}
 }

@@ -1,0 +1,152 @@
+package rtmac_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rtmac"
+)
+
+// watchPropertyProtocols is every shipped protocol: the conformance plane
+// must stay silent on any of them when the offered load leaves comfortable
+// headroom, because the SLO targets describe the requirement, not DB-DP.
+func watchPropertyProtocols() []rtmac.Protocol {
+	return []rtmac.Protocol{
+		rtmac.DBDP(),
+		rtmac.LDF(),
+		rtmac.ELDF(rtmac.PaperInfluence()),
+		rtmac.FCSMA(),
+		rtmac.FrameCSMA(),
+		rtmac.TDMA(),
+		rtmac.DCF(),
+	}
+}
+
+// easyConfig is a 4-link network with generous headroom: arrivals 0.2
+// packets/interval at p = 0.8 with an 0.8 delivery-ratio requirement, so
+// q = 0.16 while even a contention-based protocol delivers well above it.
+func easyConfig(seed uint64, prot rtmac.Protocol) rtmac.Config {
+	links := make([]rtmac.Link, 4)
+	for i := range links {
+		links[i] = rtmac.Link{
+			SuccessProb:   0.8,
+			Arrivals:      rtmac.MustBernoulliArrivals(0.2),
+			DeliveryRatio: 0.8,
+		}
+	}
+	return rtmac.Config{
+		Seed: seed, Profile: rtmac.ControlProfile(), Links: links, Protocol: prot,
+	}
+}
+
+// TestWatchSilentOnFeasibleConfigs is the false-positive property: across
+// every protocol and several seeds, a comfortably feasible network raises
+// zero alerts. 1600 intervals cover the burn-rate priming window (1000), the
+// spike warmup (300), and three full drift windows.
+func TestWatchSilentOnFeasibleConfigs(t *testing.T) {
+	for _, prot := range watchPropertyProtocols() {
+		for _, seed := range []uint64{1, 2, 3} {
+			prot, seed := prot, seed
+			t.Run(fmt.Sprintf("%s/seed%d", prot.Label(), seed), func(t *testing.T) {
+				t.Parallel()
+				s, err := rtmac.NewSimulation(easyConfig(seed, prot))
+				if err != nil {
+					t.Fatal(err)
+				}
+				w, err := s.EnableWatch(rtmac.WatchConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Run(1600); err != nil {
+					t.Fatal(err)
+				}
+				if n := w.Count(); n != 0 {
+					t.Fatalf("feasible %s run raised %d alerts, first: %v",
+						prot.Label(), n, w.Alerts()[0])
+				}
+			})
+		}
+	}
+}
+
+// TestWatchFiresOnInfeasibleScaling is the sensitivity property: scaling the
+// paper's control scenario to 15 links (workload ≈ 16.5 of 11 slots) must
+// raise a critical alert, and within a bounded delay — the burn-rate
+// detector's slow window primes at interval 1000, so the first alert must
+// land shortly after.
+func TestWatchFiresOnInfeasibleScaling(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			links := make([]rtmac.Link, 15)
+			for i := range links {
+				links[i] = rtmac.Link{
+					SuccessProb:   0.7,
+					Arrivals:      rtmac.MustBernoulliArrivals(0.78),
+					DeliveryRatio: 0.99,
+				}
+			}
+			s, err := rtmac.NewSimulation(rtmac.Config{
+				Seed: seed, Profile: rtmac.ControlProfile(), Links: links, Protocol: rtmac.DBDP(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := s.EnableWatch(rtmac.WatchConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(1500); err != nil {
+				t.Fatal(err)
+			}
+			if w.Count() == 0 {
+				t.Fatal("infeasible 15-link run raised no alerts")
+			}
+			alerts := w.Alerts()
+			if first := alerts[0].K; first > 1200 {
+				t.Errorf("first alert at interval %d, want within 200 of the priming window", first)
+			}
+			by := w.ByDetector()
+			if by["burn_rate"] == 0 && by["debt_drift"] == 0 {
+				t.Errorf("expected a critical capacity detector, got %v", by)
+			}
+		})
+	}
+}
+
+// TestWatchFiresOnPerturbation: an injected arrival burst must trip the
+// expiry-spike detector in the very interval it lands (its baseline is
+// frozen after warmup, so the spike cannot poison its own reference).
+func TestWatchFiresOnPerturbation(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := easyConfig(seed, rtmac.DBDP())
+			cfg.Perturb = &rtmac.Perturbation{K: 600, Link: 0, Extra: 40}
+			s, err := rtmac.NewSimulation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := s.EnableWatch(rtmac.WatchConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(900); err != nil {
+				t.Fatal(err)
+			}
+			if w.ByDetector()["expiry_spike"] == 0 {
+				t.Fatalf("perturbation raised no expiry_spike alert (detectors: %v)", w.ByDetector())
+			}
+			for _, a := range w.Alerts() {
+				if a.Detector == "expiry_spike" && a.State == "firing" {
+					if a.K < 600 || a.K > 605 {
+						t.Errorf("expiry_spike fired at interval %d, want within [600, 605]", a.K)
+					}
+					return
+				}
+			}
+		})
+	}
+}
